@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+only so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work on machines without the ``wheel`` package, e.g. offline environments.
+"""
+
+from setuptools import setup
+
+setup()

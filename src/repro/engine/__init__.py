@@ -1,0 +1,80 @@
+"""Population-protocol simulation engine (the substrate of this reproduction).
+
+The engine implements the probabilistic population model of Angluin et al.
+exactly as the paper assumes it (Section 1.1): ``n`` anonymous agents, a
+uniformly random ordered pair interacting at each discrete step, a common
+transition function, and per-agent output functions.  Everything else in the
+library — the auxiliary protocols of Section 2, the counting protocols of
+Sections 3–4, the baselines and the experiment harness — is built on top of
+these primitives.
+"""
+
+from .convergence import (
+    ConvergenceTracker,
+    all_outputs_equal,
+    all_outputs_satisfy,
+    fraction_outputs_satisfy,
+    outputs_in,
+)
+from .errors import (
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    UniformityError,
+)
+from .hooks import CallbackHook, FailureInjectionHook, Hook
+from .metrics import InteractionCounter, MetricsSnapshot, StateSpaceTracker
+from .protocol import Protocol, generic_state_key
+from .recorder import OutputTraceRecorder, StateHistogramRecorder
+from .rng import derive_seed, make_rng, mix_seed, spawn_rngs, spawn_seeds
+from .scheduler import (
+    RoundRobinScheduler,
+    Scheduler,
+    SequenceScheduler,
+    UniformRandomScheduler,
+)
+from .simulator import (
+    SimulationResult,
+    Simulator,
+    default_interaction_budget,
+    simulate,
+)
+
+__all__ = [
+    "ConvergenceTracker",
+    "all_outputs_equal",
+    "all_outputs_satisfy",
+    "fraction_outputs_satisfy",
+    "outputs_in",
+    "ConfigurationError",
+    "ExperimentError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "UniformityError",
+    "CallbackHook",
+    "FailureInjectionHook",
+    "Hook",
+    "InteractionCounter",
+    "MetricsSnapshot",
+    "StateSpaceTracker",
+    "Protocol",
+    "generic_state_key",
+    "OutputTraceRecorder",
+    "StateHistogramRecorder",
+    "derive_seed",
+    "make_rng",
+    "mix_seed",
+    "spawn_rngs",
+    "spawn_seeds",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SequenceScheduler",
+    "UniformRandomScheduler",
+    "SimulationResult",
+    "Simulator",
+    "default_interaction_budget",
+    "simulate",
+]

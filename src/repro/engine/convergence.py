@@ -1,0 +1,150 @@
+"""Convergence and stabilisation detection.
+
+The paper distinguishes two notions (Section 1.1):
+
+* **Convergence time** ``T_C`` — the number of interactions until the system
+  enters the set of desired configurations and never leaves it again.
+* **Stabilisation time** ``T_S`` — the number of interactions until the
+  system enters a configuration from which *no* sequence of interactions can
+  leave the set of desired configurations.
+
+Convergence is detected empirically: the simulator evaluates a predicate on
+the vector of agent outputs at a configurable cadence and reports the first
+interaction of the final uninterrupted run of satisfied checks.
+Stabilisation is detected structurally for protocols that implement
+:meth:`repro.engine.protocol.Protocol.can_interaction_change`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "OutputPredicate",
+    "all_outputs_equal",
+    "all_outputs_satisfy",
+    "fraction_outputs_satisfy",
+    "outputs_in",
+    "ConvergenceTracker",
+]
+
+OutputPredicate = Callable[[Sequence[Any]], bool]
+
+
+def all_outputs_equal(target: Any = None) -> OutputPredicate:
+    """Predicate: every agent reports the same output (optionally ``target``).
+
+    Args:
+        target: When given, all outputs must additionally equal this value.
+    """
+
+    def predicate(outputs: Sequence[Any]) -> bool:
+        if not outputs:
+            return False
+        first = outputs[0]
+        if target is not None and first != target:
+            return False
+        return all(value == first for value in outputs)
+
+    predicate.__name__ = f"all_outputs_equal({target!r})"
+    return predicate
+
+
+def all_outputs_satisfy(check: Callable[[Any], bool]) -> OutputPredicate:
+    """Predicate: every individual agent output satisfies ``check``."""
+
+    def predicate(outputs: Sequence[Any]) -> bool:
+        return bool(outputs) and all(check(value) for value in outputs)
+
+    predicate.__name__ = f"all_outputs_satisfy({getattr(check, '__name__', 'check')})"
+    return predicate
+
+
+def fraction_outputs_satisfy(check: Callable[[Any], bool], fraction: float) -> OutputPredicate:
+    """Predicate: at least ``fraction`` of agent outputs satisfy ``check``.
+
+    Used for Theorem 1(3), where only ``n - log n`` agents need the correct
+    output.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+
+    def predicate(outputs: Sequence[Any]) -> bool:
+        if not outputs:
+            return False
+        good = sum(1 for value in outputs if check(value))
+        return good >= fraction * len(outputs)
+
+    predicate.__name__ = f"fraction_outputs_satisfy({fraction})"
+    return predicate
+
+
+def outputs_in(allowed: Iterable[Any]) -> OutputPredicate:
+    """Predicate: every agent output lies in the ``allowed`` set.
+
+    This is the natural acceptance condition for Theorem 1, whose protocol may
+    output either ``floor(log2 n)`` or ``ceil(log2 n)``.
+    """
+    allowed_set = set(allowed)
+
+    def predicate(outputs: Sequence[Any]) -> bool:
+        return bool(outputs) and all(value in allowed_set for value in outputs)
+
+    predicate.__name__ = f"outputs_in({sorted(map(repr, allowed_set))})"
+    return predicate
+
+
+@dataclass
+class ConvergenceTracker:
+    """Track the satisfaction history of a convergence predicate.
+
+    The tracker records, for each checkpoint, whether the predicate held.  Its
+    :attr:`convergence_interaction` is the interaction index of the first
+    checkpoint of the *final* uninterrupted satisfied streak — the empirical
+    analogue of "enters the set of desired configurations and never leaves it
+    again (within the observed horizon)".
+    """
+
+    checks: int = 0
+    satisfied_checks: int = 0
+    _streak_start: Optional[int] = None
+    _streak_length: int = 0
+    _ever_satisfied: bool = False
+    history: List[bool] = field(default_factory=list)
+    keep_history: bool = False
+
+    def record(self, interaction: int, satisfied: bool) -> None:
+        """Record the predicate value observed after ``interaction`` interactions."""
+        self.checks += 1
+        if self.keep_history:
+            self.history.append(satisfied)
+        if satisfied:
+            self.satisfied_checks += 1
+            self._ever_satisfied = True
+            if self._streak_start is None:
+                self._streak_start = interaction
+            self._streak_length += 1
+        else:
+            self._streak_start = None
+            self._streak_length = 0
+
+    @property
+    def currently_satisfied(self) -> bool:
+        """Whether the most recent checkpoint satisfied the predicate."""
+        return self._streak_start is not None
+
+    @property
+    def current_streak(self) -> int:
+        """Number of consecutive satisfied checkpoints ending at the latest one."""
+        return self._streak_length
+
+    @property
+    def ever_satisfied(self) -> bool:
+        """Whether the predicate held at any checkpoint."""
+        return self._ever_satisfied
+
+    @property
+    def convergence_interaction(self) -> Optional[int]:
+        """Interaction index at which the final satisfied streak began, if any."""
+        return self._streak_start

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the population-protocol simulation engine.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library errors without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a protocol, simulator, or experiment is mis-configured.
+
+    Examples include a population of fewer than two agents, a non-positive
+    phase-clock modulus, or an experiment sweep with no population sizes.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol implementation violates the engine contract.
+
+    For instance, a transition that returns states of the wrong type or an
+    output function applied to a foreign state object.
+    """
+
+
+class UniformityError(ReproError):
+    """Raised when a non-uniform protocol is used where uniformity is required.
+
+    The paper's central requirement is that transition functions do not depend
+    on the population size ``n``.  Experiments that validate the paper's
+    uniform protocols refuse to run protocols that declare
+    ``uniform = False``.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot make progress.
+
+    Typical causes: an exhausted :class:`~repro.engine.scheduler.SequenceScheduler`,
+    or a run that exceeded its interaction budget while ``require_convergence``
+    was set.
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment definition is invalid or its run fails."""

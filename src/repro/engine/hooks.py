@@ -1,0 +1,100 @@
+"""Simulation hooks.
+
+Hooks observe a running simulation without being part of any protocol.  They
+are used for trace recording, progress reporting, failure injection in tests,
+and for the *oracle clock driver* used by the idealized analyses (which is a
+deliberate, documented break of uniformity confined to the analysis layer).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
+    from .simulator import Simulator
+
+__all__ = ["Hook", "CallbackHook", "FailureInjectionHook"]
+
+
+class Hook:
+    """Base class for simulation observers.  All callbacks default to no-ops."""
+
+    def on_start(self, simulator: "Simulator") -> None:
+        """Called once before the first interaction of a run."""
+
+    def before_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
+        """Called before each interaction with the scheduled agent indices."""
+
+    def after_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
+        """Called after each interaction with the scheduled agent indices."""
+
+    def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
+        """Called whenever the simulator evaluates its convergence predicate."""
+
+    def on_end(self, simulator: "Simulator") -> None:
+        """Called once when a run finishes (for any reason)."""
+
+
+class CallbackHook(Hook):
+    """Adapter turning plain callables into a :class:`Hook`.
+
+    Any subset of the callbacks may be provided; missing ones are no-ops.
+    """
+
+    def __init__(
+        self,
+        on_start: Optional[Callable[["Simulator"], None]] = None,
+        before_interaction: Optional[Callable[["Simulator", int, int], None]] = None,
+        after_interaction: Optional[Callable[["Simulator", int, int], None]] = None,
+        on_checkpoint: Optional[Callable[["Simulator", bool], None]] = None,
+        on_end: Optional[Callable[["Simulator"], None]] = None,
+    ) -> None:
+        self._on_start = on_start
+        self._before = before_interaction
+        self._after = after_interaction
+        self._on_checkpoint = on_checkpoint
+        self._on_end = on_end
+
+    def on_start(self, simulator: "Simulator") -> None:
+        if self._on_start:
+            self._on_start(simulator)
+
+    def before_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
+        if self._before:
+            self._before(simulator, initiator, responder)
+
+    def after_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
+        if self._after:
+            self._after(simulator, initiator, responder)
+
+    def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
+        if self._on_checkpoint:
+            self._on_checkpoint(simulator, satisfied)
+
+    def on_end(self, simulator: "Simulator") -> None:
+        if self._on_end:
+            self._on_end(simulator)
+
+
+class FailureInjectionHook(Hook):
+    """Corrupt agent states at chosen interactions.
+
+    Used by the stability test-suite to verify that the error-detection
+    routines of the stable protocols (Appendix B / F) catch injected faults
+    and fall back to the always-correct backup protocols.
+
+    Args:
+        at_interaction: Interaction index after which the corruption fires.
+        corrupt: Callable receiving ``(simulator, rng)`` that mutates one or
+            more agent states in place.
+    """
+
+    def __init__(self, at_interaction: int, corrupt: Callable[["Simulator"], None]) -> None:
+        self.at_interaction = at_interaction
+        self.corrupt = corrupt
+        self.fired = False
+
+    def after_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
+        if not self.fired and simulator.interactions >= self.at_interaction:
+            self.corrupt(simulator)
+            self.fired = True

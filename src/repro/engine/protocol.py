@@ -1,0 +1,137 @@
+"""The population-protocol abstraction used throughout the library.
+
+A population protocol is specified by a state space ``Q``, a transition
+function ``delta: Q x Q -> Q x Q`` applied to (initiator, responder) pairs,
+and an output function ``omega: Q -> O`` (Section 1.1 of the paper).  This
+module defines :class:`Protocol`, the abstract base class every protocol in
+the library implements, plus small helpers shared by implementations.
+
+Design notes
+------------
+* **States are mutable objects.**  ``transition`` mutates the two state
+  objects in place (they are always distinct objects); this avoids per-
+  interaction allocations, which matters because a single Theorem-2 run at
+  ``n = 512`` performs hundreds of thousands of interactions.
+* **Every state must expose a hashable key** (via a ``key()`` method, a
+  ``__slots__`` dataclass, or by overriding :meth:`Protocol.state_key`).
+  Keys drive state-space accounting (the paper's second efficiency measure)
+  and convergence checks.
+* **Uniformity is a declared property.**  Uniform protocols never receive the
+  population size; non-uniform baselines/oracles must set ``uniform = False``
+  so the experiment layer can exclude them from uniform suites.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import random
+from typing import Any, Generic, Hashable, Iterable, Sequence, TypeVar
+
+__all__ = ["Protocol", "state_fields", "generic_state_key"]
+
+S = TypeVar("S")
+
+
+def state_fields(state: Any) -> Sequence[str]:
+    """Return the ordered field names of a dataclass state object."""
+    return tuple(f.name for f in dataclasses.fields(state))
+
+
+def generic_state_key(state: Any) -> Hashable:
+    """Best-effort hashable key for an arbitrary state object.
+
+    Preference order: an explicit ``key()`` method, dataclass field values,
+    the object itself when hashable, and finally ``repr``.
+    """
+    key_method = getattr(state, "key", None)
+    if callable(key_method):
+        return key_method()
+    if dataclasses.is_dataclass(state) and not isinstance(state, type):
+        return tuple(getattr(state, f.name) for f in dataclasses.fields(state))
+    try:
+        hash(state)
+    except TypeError:
+        return repr(state)
+    return state
+
+
+class Protocol(abc.ABC, Generic[S]):
+    """Abstract base class for population protocols.
+
+    Subclasses implement :meth:`initial_state`, :meth:`transition`, and
+    :meth:`output`.  The engine treats states as opaque except for the
+    hashable key returned by :meth:`state_key`.
+
+    Attributes:
+        name: Human-readable protocol name used in reports and experiment
+            tables.  Defaults to the class name.
+        uniform: ``True`` when the transition function does not depend on the
+            population size ``n`` (the paper's uniformity requirement).
+    """
+
+    name: str = ""
+    uniform: bool = True
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.__dict__.get("name"):
+            cls.name = cls.__name__
+
+    # ------------------------------------------------------------------ API
+    @abc.abstractmethod
+    def initial_state(self, agent_id: int) -> S:
+        """Return the initial state of agent ``agent_id``.
+
+        Uniform protocols must ignore ``agent_id`` for everything except
+        symmetry breaking that the paper itself allows (the paper's input
+        configurations are fully symmetric, so implementations here ignore
+        it; it exists so that test fixtures can construct asymmetric
+        starting configurations explicitly).
+        """
+
+    @abc.abstractmethod
+    def transition(self, initiator: S, responder: S, rng: random.Random) -> None:
+        """Apply one interaction, mutating ``initiator`` and ``responder``.
+
+        ``rng`` models the synthetic-coin randomness available to agents
+        (Appendix D); uniform protocols may use it for fair coin flips but
+        must not use it to learn ``n``.
+        """
+
+    @abc.abstractmethod
+    def output(self, state: S) -> Any:
+        """Return the current output ``omega(state)`` of an agent."""
+
+    # ------------------------------------------------------------- optional
+    def state_key(self, state: S) -> Hashable:
+        """Return a hashable key identifying ``state`` within the state space."""
+        return generic_state_key(state)
+
+    def copy_state(self, state: S) -> S:
+        """Return an independent copy of ``state`` (used by recorders/tests)."""
+        if dataclasses.is_dataclass(state) and not isinstance(state, type):
+            return dataclasses.replace(state)  # type: ignore[return-value]
+        raise ProtocolCopyError(
+            f"{type(self).__name__} states are not dataclasses; override copy_state()"
+        )
+
+    def can_interaction_change(self, key_a: Hashable, key_b: Hashable) -> bool:
+        """Return whether an (a, b) interaction could modify either state.
+
+        Used for *stabilisation* detection: a configuration is stable when no
+        ordered pair of present state keys can change any state.  The default
+        is conservative (``True``); deterministic protocols override it.
+        """
+        return True
+
+    def describe(self) -> str:
+        """One-line description used by the CLI and experiment reports."""
+        return f"{self.name} (uniform={self.uniform})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"<{type(self).__name__} name={self.name!r} uniform={self.uniform}>"
+
+
+class ProtocolCopyError(TypeError):
+    """Raised when :meth:`Protocol.copy_state` cannot copy a state object."""

@@ -1,0 +1,348 @@
+"""The population-protocol simulator.
+
+:class:`Simulator` executes the probabilistic population model: at each time
+step an ordered pair of distinct agents is drawn (by default uniformly at
+random) and the protocol's transition function is applied.  The simulator
+tracks interaction counts, observed state-space size, and convergence of a
+user-supplied output predicate, and reports everything in a
+:class:`SimulationResult`.
+
+A convenience function :func:`simulate` covers the common one-shot case.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .convergence import ConvergenceTracker, OutputPredicate
+from .errors import ConfigurationError, SimulationError, UniformityError
+from .hooks import Hook
+from .metrics import InteractionCounter, StateSpaceTracker
+from .protocol import Protocol
+from .rng import SeedLike, make_rng
+from .scheduler import Scheduler, UniformRandomScheduler
+
+__all__ = ["SimulationResult", "Simulator", "simulate", "default_interaction_budget"]
+
+
+def default_interaction_budget(n: int, factor: float = 64.0, exponent: float = 2.0) -> int:
+    """Return a generous default interaction budget of ``factor * n * log2(n)^exponent``.
+
+    Protocol `Approximate` converges in ``O(n log^2 n)`` interactions, so the
+    default budget (with ``exponent=2``) comfortably covers both of the
+    paper's fast protocols at simulation scales.
+    """
+    if n < 2:
+        raise ConfigurationError("population size must be at least 2")
+    return int(factor * n * max(1.0, math.log2(n)) ** exponent)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        protocol_name: Name of the protocol that was run.
+        n: Population size.
+        seed: Seed the run was started with.
+        interactions: Total number of interactions executed.
+        converged: Whether the convergence predicate held at the final
+            checkpoint (and therefore from :attr:`convergence_interaction` on).
+        convergence_interaction: First interaction of the final satisfied
+            streak of convergence checks, or ``None`` if never satisfied.
+        stopped_reason: Why the run ended (``"converged"``, ``"budget"``,
+            ``"terminal"``).
+        outputs: Final per-agent outputs.
+        output_counts: Histogram of final outputs.
+        distinct_states: Number of distinct state keys observed.
+        state_space: Detailed state-space summary (per-field ranges).
+        min_participation: Minimum number of interactions any agent took part in.
+        wall_time_s: Wall-clock duration of the run in seconds.
+        extra: Free-form protocol- or experiment-specific data.
+    """
+
+    protocol_name: str
+    n: int
+    seed: Optional[int]
+    interactions: int
+    converged: bool
+    convergence_interaction: Optional[int]
+    stopped_reason: str
+    outputs: List[Any]
+    output_counts: Counter
+    distinct_states: int
+    state_space: Dict[str, Any]
+    min_participation: int
+    wall_time_s: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def consensus_output(self) -> Optional[Any]:
+        """The unique common output if all agents agree, else ``None``."""
+        if len(self.output_counts) == 1:
+            return next(iter(self.output_counts))
+        return None
+
+    @property
+    def agreement_fraction(self) -> float:
+        """Fraction of agents reporting the most common final output."""
+        if not self.output_counts:
+            return 0.0
+        return self.output_counts.most_common(1)[0][1] / self.n
+
+    def summary(self) -> Dict[str, Any]:
+        """Return a compact JSON-friendly summary of the run."""
+        return {
+            "protocol": self.protocol_name,
+            "n": self.n,
+            "seed": self.seed,
+            "interactions": self.interactions,
+            "converged": self.converged,
+            "convergence_interaction": self.convergence_interaction,
+            "stopped_reason": self.stopped_reason,
+            "consensus_output": self.consensus_output,
+            "agreement_fraction": round(self.agreement_fraction, 4),
+            "distinct_states": self.distinct_states,
+            "wall_time_s": round(self.wall_time_s, 4),
+        }
+
+
+class Simulator:
+    """Discrete-event simulator for population protocols.
+
+    Args:
+        protocol: The protocol to run.
+        n: Population size (``>= 2``).
+        seed: Base seed; the scheduler and the agents' synthetic coins derive
+            independent sub-streams from it.
+        scheduler: Interaction scheduler; defaults to the uniform random
+            scheduler of the population model.
+        hooks: Observers notified of simulation events.
+        track_state_space: Whether to maintain the observed-state-space
+            tracker (cheap, but can be disabled for micro-benchmarks).
+        require_uniform: When ``True``, refuse to construct a simulator for a
+            protocol that declares ``uniform = False``.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        n: int,
+        seed: SeedLike = 0,
+        scheduler: Optional[Scheduler] = None,
+        hooks: Iterable[Hook] = (),
+        track_state_space: bool = True,
+        require_uniform: bool = False,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("population size must be at least 2")
+        if require_uniform and not protocol.uniform:
+            raise UniformityError(
+                f"protocol {protocol.name!r} is not uniform but uniformity was required"
+            )
+        self.protocol = protocol
+        self.n = n
+        self.seed = seed
+        self.scheduler = scheduler if scheduler is not None else UniformRandomScheduler()
+        self.hooks: List[Hook] = list(hooks)
+        self._scheduler_rng = make_rng(seed, "scheduler")
+        self._agent_rng = make_rng(seed, "agents")
+        self.states: List[Any] = [protocol.initial_state(i) for i in range(n)]
+        self.interactions = 0
+        self.counter = InteractionCounter(n)
+        self.track_state_space = track_state_space
+        self.state_space = StateSpaceTracker()
+        if track_state_space:
+            for state in self.states:
+                self.state_space.observe(protocol.state_key(state))
+
+    # ------------------------------------------------------------ observers
+    def outputs(self) -> List[Any]:
+        """Return the current per-agent outputs."""
+        output = self.protocol.output
+        return [output(state) for state in self.states]
+
+    def output_counts(self) -> Counter:
+        """Return a histogram of the current per-agent outputs."""
+        return Counter(self.outputs())
+
+    def state_keys(self) -> List[Hashable]:
+        """Return the current per-agent state keys."""
+        key = self.protocol.state_key
+        return [key(state) for state in self.states]
+
+    def is_stable_configuration(self) -> bool:
+        """Check structural stability of the current configuration.
+
+        A configuration is stable when no ordered pair of currently-present
+        state keys can change either participant.  This relies on the
+        protocol overriding
+        :meth:`repro.engine.protocol.Protocol.can_interaction_change`; for
+        protocols using the conservative default this returns ``False``
+        unless only a single state key remains and it is a fixed point.
+        """
+        keys = set(self.state_keys())
+        can_change = self.protocol.can_interaction_change
+        for a in keys:
+            for b in keys:
+                if a is b or a == b:
+                    if can_change(a, b):
+                        return False
+                elif can_change(a, b) or can_change(b, a):
+                    return False
+        return True
+
+    # ------------------------------------------------------------- stepping
+    def step(self) -> Tuple[int, int]:
+        """Execute a single interaction and return the (initiator, responder) pair."""
+        initiator, responder = self.scheduler.next_pair(
+            self.n, self._scheduler_rng, self.interactions
+        )
+        for hook in self.hooks:
+            hook.before_interaction(self, initiator, responder)
+        self.protocol.transition(
+            self.states[initiator], self.states[responder], self._agent_rng
+        )
+        self.interactions += 1
+        self.counter.record(initiator, responder)
+        if self.track_state_space:
+            key = self.protocol.state_key
+            self.state_space.observe(key(self.states[initiator]))
+            self.state_space.observe(key(self.states[responder]))
+        for hook in self.hooks:
+            hook.after_interaction(self, initiator, responder)
+        return initiator, responder
+
+    def run(
+        self,
+        max_interactions: Optional[int] = None,
+        convergence: Optional[OutputPredicate] = None,
+        check_interval: Optional[int] = None,
+        stop_when_converged: bool = True,
+        confirm_checks: int = 3,
+        require_convergence: bool = False,
+    ) -> SimulationResult:
+        """Run the simulation and return a :class:`SimulationResult`.
+
+        Args:
+            max_interactions: Interaction budget.  Defaults to
+                :func:`default_interaction_budget`.
+            convergence: Predicate over the vector of agent outputs defining
+                the desired configurations.  When omitted, the run simply
+                exhausts its budget.
+            check_interval: How often (in interactions) the predicate is
+                evaluated.  Defaults to ``n`` (one parallel-time unit).
+            stop_when_converged: Stop early once the predicate has held for
+                ``confirm_checks`` consecutive checkpoints.
+            confirm_checks: Number of consecutive satisfied checkpoints
+                required before an early stop.
+            require_convergence: Raise :class:`SimulationError` if the budget
+                is exhausted without the predicate holding at the end.
+        """
+        budget = max_interactions if max_interactions is not None else default_interaction_budget(self.n)
+        if budget < 0:
+            raise ConfigurationError("max_interactions must be non-negative")
+        cadence = check_interval if check_interval is not None else max(1, self.n)
+        if cadence <= 0:
+            raise ConfigurationError("check_interval must be positive")
+        if confirm_checks < 1:
+            raise ConfigurationError("confirm_checks must be at least 1")
+
+        tracker = ConvergenceTracker()
+        started = time.perf_counter()
+        stopped_reason = "budget"
+        for hook in self.hooks:
+            hook.on_start(self)
+
+        while self.interactions < budget:
+            self.step()
+            if convergence is not None and self.interactions % cadence == 0:
+                satisfied = convergence(self.outputs())
+                tracker.record(self.interactions - cadence + 1, satisfied)
+                for hook in self.hooks:
+                    hook.on_checkpoint(self, satisfied)
+                if (
+                    stop_when_converged
+                    and satisfied
+                    and tracker.current_streak >= confirm_checks
+                ):
+                    stopped_reason = "converged"
+                    break
+
+        converged = False
+        convergence_interaction: Optional[int] = None
+        if convergence is not None:
+            final_satisfied = convergence(self.outputs())
+            if stopped_reason != "converged" or not tracker.currently_satisfied:
+                tracker.record(self.interactions, final_satisfied)
+            converged = tracker.currently_satisfied and final_satisfied
+            convergence_interaction = tracker.convergence_interaction if converged else None
+            if converged and stopped_reason == "budget":
+                stopped_reason = "converged-at-budget"
+        wall = time.perf_counter() - started
+
+        for hook in self.hooks:
+            hook.on_end(self)
+
+        if require_convergence and convergence is not None and not converged:
+            raise SimulationError(
+                f"protocol {self.protocol.name!r} (n={self.n}, seed={self.seed!r}) did not "
+                f"converge within {budget} interactions"
+            )
+
+        outputs = self.outputs()
+        return SimulationResult(
+            protocol_name=self.protocol.name,
+            n=self.n,
+            seed=self.seed if isinstance(self.seed, int) else None,
+            interactions=self.interactions,
+            converged=converged,
+            convergence_interaction=convergence_interaction,
+            stopped_reason=stopped_reason,
+            outputs=outputs,
+            output_counts=Counter(outputs),
+            distinct_states=self.state_space.distinct_states,
+            state_space=self.state_space.as_dict(),
+            min_participation=self.counter.min_participation,
+            wall_time_s=wall,
+        )
+
+
+def simulate(
+    protocol: Protocol,
+    n: int,
+    seed: SeedLike = 0,
+    max_interactions: Optional[int] = None,
+    convergence: Optional[OutputPredicate] = None,
+    check_interval: Optional[int] = None,
+    hooks: Iterable[Hook] = (),
+    scheduler: Optional[Scheduler] = None,
+    stop_when_converged: bool = True,
+    confirm_checks: int = 3,
+    require_convergence: bool = False,
+    require_uniform: bool = False,
+) -> SimulationResult:
+    """One-shot convenience wrapper: construct a :class:`Simulator` and run it.
+
+    See :meth:`Simulator.run` for the meaning of the arguments.
+    """
+    simulator = Simulator(
+        protocol,
+        n,
+        seed=seed,
+        scheduler=scheduler,
+        hooks=hooks,
+        require_uniform=require_uniform,
+    )
+    return simulator.run(
+        max_interactions=max_interactions,
+        convergence=convergence,
+        check_interval=check_interval,
+        stop_when_converged=stop_when_converged,
+        confirm_checks=confirm_checks,
+        require_convergence=require_convergence,
+    )

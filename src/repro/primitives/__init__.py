@@ -1,0 +1,98 @@
+"""Auxiliary population protocols (Section 2 of the paper).
+
+These are the building blocks the counting protocols are assembled from:
+one-way epidemics (broadcast), the junta process, junta-driven phase clocks,
+synthetic coins, slow and fast leader election, and the two load-balancing
+processes.  Each module exposes both an in-place *component update* (used by
+the composed protocols in :mod:`repro.counting`) and a standalone
+:class:`~repro.engine.Protocol` so the primitive can be measured in isolation
+(experiments E4–E8).
+"""
+
+from .epidemic import EpidemicState, MaximumBroadcast, OneWayEpidemic, epidemic_update
+from .fast_leader_election import (
+    FastLeaderElectionAgent,
+    FastLeaderElectionProtocol,
+    FastLeaderElectionState,
+    fast_leader_election_update,
+)
+from .junta import (
+    JuntaProtocol,
+    JuntaState,
+    junta_summary,
+    junta_update,
+    junta_update_pair,
+)
+from .leader_election import (
+    LeaderElectionAgent,
+    LeaderElectionProtocol,
+    LeaderElectionState,
+    leader_election_update,
+)
+from .load_balancing import (
+    EMPTY,
+    ClassicalLoadBalancing,
+    ClassicalLoadState,
+    PowersOfTwoLoadBalancing,
+    PowersOfTwoState,
+    balance_powers_of_two,
+    discrepancy,
+    load_from_log,
+    split_evenly,
+    total_load_from_logs,
+)
+from .params import (
+    FastLeaderElectionParameters,
+    LeaderElectionParameters,
+    level_scaled,
+)
+from .phase_clock import (
+    DEFAULT_CLOCK_MODULUS,
+    JuntaPhaseClockProtocol,
+    JuntaPhaseClockState,
+    PhaseClockState,
+    phase_clock_update,
+)
+from .synthetic_coin import ParityCoinProtocol, ParityCoinState, flip, flip_bits
+
+__all__ = [
+    "EpidemicState",
+    "MaximumBroadcast",
+    "OneWayEpidemic",
+    "epidemic_update",
+    "FastLeaderElectionAgent",
+    "FastLeaderElectionProtocol",
+    "FastLeaderElectionState",
+    "fast_leader_election_update",
+    "JuntaProtocol",
+    "JuntaState",
+    "junta_summary",
+    "junta_update",
+    "junta_update_pair",
+    "LeaderElectionAgent",
+    "LeaderElectionProtocol",
+    "LeaderElectionState",
+    "leader_election_update",
+    "EMPTY",
+    "ClassicalLoadBalancing",
+    "ClassicalLoadState",
+    "PowersOfTwoLoadBalancing",
+    "PowersOfTwoState",
+    "balance_powers_of_two",
+    "discrepancy",
+    "load_from_log",
+    "split_evenly",
+    "total_load_from_logs",
+    "FastLeaderElectionParameters",
+    "LeaderElectionParameters",
+    "level_scaled",
+    "DEFAULT_CLOCK_MODULUS",
+    "JuntaPhaseClockProtocol",
+    "JuntaPhaseClockState",
+    "PhaseClockState",
+    "phase_clock_update",
+    "ParityCoinProtocol",
+    "ParityCoinState",
+    "flip",
+    "flip_bits",
+]

@@ -1,10 +1,26 @@
-"""Setuptools shim.
+"""Package metadata for the conf_podc_BerenbrinkKR19 reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``.  This file exists
-only so that legacy editable installs (``pip install -e . --no-use-pep517``)
-work on machines without the ``wheel`` package, e.g. offline environments.
+Kept in ``setup.py`` (rather than ``pyproject.toml``) so that legacy
+editable installs (``pip install -e .``) work on machines without the
+``wheel`` package, e.g. offline environments.
 """
 
-from setuptools import setup
+from setuptools import find_namespace_packages, setup
 
-setup()
+setup(
+    name="repro-berenbrink-kr19",
+    version="0.2.0",
+    description=(
+        "Reproduction of Berenbrink, Kaaser, Radzik (PODC 2019) population "
+        "protocols with a batched configuration-vector simulation backend"
+    ),
+    package_dir={"": "src"},
+    packages=find_namespace_packages(where="src"),
+    python_requires=">=3.10",  # dataclass(slots=True) throughout
+    extras_require={"test": ["pytest"]},
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.bench.cli:main",
+        ]
+    },
+)

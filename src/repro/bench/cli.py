@@ -1,0 +1,72 @@
+"""``repro-bench`` console entry point.
+
+Runs the backend benchmark grid and writes ``BENCH_batch_backend.json``
+(at the current working directory by default — run it from the repo root so
+the perf trajectory is tracked across PRs).
+
+Usage::
+
+    repro-bench                 # full grid, n up to 10**6 on the batch backend
+    repro-bench --smoke         # < 30 s grid for CI pushes
+    repro-bench --output out.json --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .runner import run_benchmark, write_report
+
+__all__ = ["main"]
+
+DEFAULT_OUTPUT = "BENCH_batch_backend.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the per-agent vs batched simulation backends.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the quick (< 30 s) grid used on CI pushes",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"path of the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress output"
+    )
+    args = parser.parse_args(argv)
+
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    started = time.perf_counter()
+    report = run_benchmark(smoke=args.smoke, base_seed=args.seed, progress=progress)
+    elapsed = time.perf_counter() - started
+    write_report(report, args.output)
+
+    headline = report["headline"]
+    if headline is not None:
+        status = "OK" if report["headline_met"] else "BELOW TARGET"
+        print(
+            f"headline: {headline['protocol']} n={headline['n']} "
+            f"transition-call reduction {headline['transition_call_reduction']}x "
+            f"(target {report['target_reduction']}x) [{status}]"
+        )
+    print(f"wrote {args.output} ({len(report['entries'])} entries, {elapsed:.1f}s)")
+    # The smoke grid has no headline-size case; only fail when the full grid
+    # measured the headline and missed the target.
+    if headline is not None and not report["headline_met"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -9,12 +9,20 @@ Sections 3–4, the baselines and the experiment harness — is built on top of
 these primitives.
 """
 
+from .backends import (
+    AgentBackend,
+    Backend,
+    BatchBackend,
+    LiftedKeyTransitions,
+)
 from .convergence import (
     ConvergenceTracker,
     all_outputs_equal,
     all_outputs_satisfy,
     fraction_outputs_satisfy,
+    output_items,
     outputs_in,
+    total_outputs,
 )
 from .errors import (
     ConfigurationError,
@@ -25,7 +33,12 @@ from .errors import (
     UniformityError,
 )
 from .hooks import CallbackHook, FailureInjectionHook, Hook
-from .metrics import InteractionCounter, MetricsSnapshot, StateSpaceTracker
+from .metrics import (
+    AggregateInteractionCounter,
+    InteractionCounter,
+    MetricsSnapshot,
+    StateSpaceTracker,
+)
 from .protocol import Protocol, generic_state_key
 from .recorder import OutputTraceRecorder, StateHistogramRecorder
 from .rng import derive_seed, make_rng, mix_seed, spawn_rngs, spawn_seeds
@@ -43,11 +56,17 @@ from .simulator import (
 )
 
 __all__ = [
+    "AgentBackend",
+    "Backend",
+    "BatchBackend",
+    "LiftedKeyTransitions",
     "ConvergenceTracker",
     "all_outputs_equal",
     "all_outputs_satisfy",
     "fraction_outputs_satisfy",
+    "output_items",
     "outputs_in",
+    "total_outputs",
     "ConfigurationError",
     "ExperimentError",
     "ProtocolError",
@@ -57,6 +76,7 @@ __all__ = [
     "CallbackHook",
     "FailureInjectionHook",
     "Hook",
+    "AggregateInteractionCounter",
     "InteractionCounter",
     "MetricsSnapshot",
     "StateSpaceTracker",

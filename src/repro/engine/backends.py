@@ -1,0 +1,492 @@
+"""Simulation backends: per-agent and batched configuration-vector execution.
+
+The population model is a Markov chain over *configurations* — multisets of
+agent states.  Two execution strategies for that chain are provided:
+
+* :class:`AgentBackend` materialises one mutable state object per agent and
+  executes one Python-level ``transition()`` call per interaction.  It is the
+  reference implementation, supports arbitrary schedulers, per-agent hooks
+  and per-agent participation accounting, and is exact at the agent level.
+
+* :class:`BatchBackend` collapses the population into a histogram
+  ``Counter[state_key] -> count`` (the configuration-as-multiset view of the
+  population Markov chain) and samples *batches* of interactions at once:
+  the number of configuration-preserving interactions before the next
+  configuration-changing one is drawn from a geometric distribution over the
+  active pair-type weights, and the transition is then applied once per pair
+  *type* (memoised for protocols declaring
+  :attr:`~repro.engine.protocol.Protocol.deterministic_transitions`) instead
+  of once per agent.  Conditioned on the configuration, the resulting chain
+  is distributed exactly as the agent-level chain marginalised over agent
+  identities, because agents are anonymous and the uniform scheduler is
+  exchangeable.
+
+The batch backend requires the uniform random scheduler and a protocol whose
+behaviour depends on states only through their keys (true for every protocol
+in this library; state keys encode the full state).  Protocols without a
+native :meth:`~repro.engine.protocol.Protocol.delta_key` are lifted to key
+space by :class:`LiftedKeyTransitions` using representative state objects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple
+
+import abc
+import random
+
+from .errors import ConfigurationError, SimulationError
+from .metrics import AggregateInteractionCounter, InteractionCounter, StateSpaceTracker
+from .protocol import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
+    from .scheduler import Scheduler
+    from .simulator import Simulator
+
+__all__ = [
+    "Backend",
+    "AgentBackend",
+    "BatchBackend",
+    "LiftedKeyTransitions",
+    "BACKEND_NAMES",
+]
+
+#: Valid values for the ``backend=`` argument of the simulator.
+BACKEND_NAMES = ("agent", "batch", "auto")
+
+
+class LiftedKeyTransitions:
+    """Lift a mutating ``transition()`` to pure key space via representatives.
+
+    One representative state object is kept per observed key; a key-level
+    transition copies the two representatives, applies the protocol's
+    mutating ``transition()``, and returns (registering) the resulting keys.
+    This is exact whenever the protocol's behaviour depends on a state only
+    through its key — which holds for every protocol in this library, since
+    state keys encode the complete state.
+
+    Requires a working
+    :meth:`~repro.engine.protocol.Protocol.copy_state`.
+    """
+
+    def __init__(self, protocol: Protocol) -> None:
+        self.protocol = protocol
+        self._representatives: Dict[Hashable, Any] = {}
+
+    def register(self, state: Any) -> Hashable:
+        """Record ``state`` as the representative of its key; return the key."""
+        key = self.protocol.state_key(state)
+        if key not in self._representatives:
+            self._representatives[key] = self.protocol.copy_state(state)
+        return key
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        """Key-level transition implemented on copies of the representatives."""
+        protocol = self.protocol
+        state_a = protocol.copy_state(self._representatives[key_a])
+        state_b = protocol.copy_state(self._representatives[key_b])
+        protocol.transition(state_a, state_b, rng)
+        return self.register(state_a), self.register(state_b)
+
+    def output_key(self, key: Hashable) -> Any:
+        """Output of an agent in the state represented by ``key``."""
+        return self.protocol.output(self._representatives[key])
+
+
+class Backend(abc.ABC):
+    """Execution strategy for the population Markov chain.
+
+    A backend owns the population representation, the interaction counter,
+    and the observed-state-space tracker, and advances the chain on behalf
+    of :class:`~repro.engine.simulator.Simulator`.  All observers are
+    histogram-first: :meth:`state_key_counts` and :meth:`output_counts` are
+    cheap for both backends, while per-agent views may be synthesised from
+    the histogram (batch) or read off directly (agent).
+    """
+
+    name: str = ""
+
+    def __init__(self, simulator: "Simulator") -> None:
+        self.simulator = simulator
+        self.protocol: Protocol = simulator.protocol
+        self.n: int = simulator.n
+        self.interactions: int = 0
+        #: Number of Python-level transition invocations actually executed
+        #: (``transition()`` for the agent backend, ``delta_key()`` for the
+        #: batch backend; memoised applications do not count).
+        self.transition_calls: int = 0
+        #: Set when the configuration has provably reached a fixed point
+        #: (no ordered pair of present keys can change it).
+        self.terminal: bool = False
+        self.state_space = StateSpaceTracker()
+
+    # -------------------------------------------------------------- stepping
+    @abc.abstractmethod
+    def advance_to(self, target: int) -> None:
+        """Advance the chain until ``interactions == target`` or terminal."""
+
+    # ------------------------------------------------------------- observers
+    @abc.abstractmethod
+    def state_key_counts(self) -> Counter:
+        """Histogram of current state keys (the configuration vector)."""
+
+    @abc.abstractmethod
+    def output_counts(self) -> Counter:
+        """Histogram of current agent outputs."""
+
+    @abc.abstractmethod
+    def outputs(self) -> List[Any]:
+        """Per-agent outputs (order is meaningful only for the agent backend)."""
+
+    @abc.abstractmethod
+    def convergence_view(self) -> Any:
+        """Value handed to convergence predicates.
+
+        The agent backend passes the per-agent output list (full backwards
+        compatibility with sequence predicates); the batch backend passes the
+        output histogram, which the built-in predicates in
+        :mod:`repro.engine.convergence` also accept.
+        """
+
+    def state_keys(self) -> List[Hashable]:
+        """Current state keys, expanded to one entry per agent."""
+        expanded: List[Hashable] = []
+        for key, count in self.state_key_counts().items():
+            expanded.extend([key] * count)
+        return expanded
+
+    @property
+    def min_participation(self) -> int:
+        """Minimum per-agent participation (0 when not tracked)."""
+        return 0
+
+
+class AgentBackend(Backend):
+    """The reference per-agent execution strategy (one object per agent)."""
+
+    name = "agent"
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        scheduler: "Scheduler",
+        scheduler_rng: random.Random,
+        agent_rng: random.Random,
+        track_state_space: bool = True,
+    ) -> None:
+        super().__init__(simulator)
+        self.scheduler = scheduler
+        self._scheduler_rng = scheduler_rng
+        self._agent_rng = agent_rng
+        self.states: List[Any] = [self.protocol.initial_state(i) for i in range(self.n)]
+        self.counter = InteractionCounter(self.n)
+        self.track_state_space = track_state_space
+        if track_state_space:
+            key = self.protocol.state_key
+            for state in self.states:
+                self.state_space.observe(key(state))
+
+    def step(self) -> Tuple[int, int]:
+        """Execute one interaction; return the (initiator, responder) pair."""
+        simulator = self.simulator
+        initiator, responder = self.scheduler.next_pair(
+            self.n, self._scheduler_rng, self.interactions
+        )
+        for hook in simulator.hooks:
+            hook.before_interaction(simulator, initiator, responder)
+        self.protocol.transition(
+            self.states[initiator], self.states[responder], self._agent_rng
+        )
+        self.interactions += 1
+        self.transition_calls += 1
+        self.counter.record(initiator, responder)
+        if self.track_state_space:
+            key = self.protocol.state_key
+            self.state_space.observe(key(self.states[initiator]))
+            self.state_space.observe(key(self.states[responder]))
+        for hook in simulator.hooks:
+            hook.after_interaction(simulator, initiator, responder)
+        return initiator, responder
+
+    def advance_to(self, target: int) -> None:
+        while self.interactions < target:
+            self.step()
+
+    def state_key_counts(self) -> Counter:
+        key = self.protocol.state_key
+        return Counter(key(state) for state in self.states)
+
+    def outputs(self) -> List[Any]:
+        output = self.protocol.output
+        return [output(state) for state in self.states]
+
+    def output_counts(self) -> Counter:
+        return Counter(self.outputs())
+
+    def convergence_view(self) -> List[Any]:
+        return self.outputs()
+
+    def state_keys(self) -> List[Hashable]:
+        key = self.protocol.state_key
+        return [key(state) for state in self.states]
+
+    @property
+    def min_participation(self) -> int:
+        return self.counter.min_participation
+
+
+class BatchBackend(Backend):
+    """Batched configuration-vector execution of the population chain.
+
+    The configuration is a histogram ``counts: key -> multiplicity``.  Let
+    ``T = n (n - 1)`` be the number of ordered agent pairs and, for each
+    ordered key pair ``(a, b)`` that
+    :meth:`~repro.engine.protocol.Protocol.can_interaction_change` marks as
+    able to change the configuration, let ``w(a, b) = c_a c_b`` (or
+    ``c_a (c_a - 1)`` when ``a == b``) be the number of ordered agent pairs
+    realising it.  One *event loop iteration* then
+
+    1. draws the number of configuration-preserving interactions preceding
+       the next configuration-changing one from ``Geometric(W / T)`` where
+       ``W = sum w(a, b)`` — these are skipped in O(1);
+    2. picks the active ordered pair type with probability ``w(a, b) / W``;
+    3. applies :meth:`~repro.engine.protocol.Protocol.delta_key` once for
+       that *type* (memoised when the protocol declares deterministic
+       transitions) and updates the histogram.
+
+    Pair-type weights are maintained incrementally: an event changes the
+    multiplicities of at most four keys, so only the pair weights involving
+    those keys are recomputed (``O(K)`` per event for ``K`` distinct keys,
+    instead of ``O(K^2)``).  When ``W == 0`` the configuration is a fixed
+    point and the backend reports :attr:`~Backend.terminal`.
+
+    Truncating a geometric skip at an interaction budget or checkpoint
+    boundary and re-sampling later is exact by memorylessness.
+    """
+
+    name = "batch"
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        scheduler_rng: random.Random,
+        agent_rng: random.Random,
+        track_state_space: bool = True,
+    ) -> None:
+        super().__init__(simulator)
+        protocol = self.protocol
+        self._pair_rng = scheduler_rng
+        self._agent_rng = agent_rng
+        self.track_state_space = track_state_space
+        self._lifted: Optional[LiftedKeyTransitions] = None
+        if protocol.supports_key_transitions():
+            self._delta = protocol.delta_key
+            self._output_key = protocol.output_key
+            self.counts: Counter = Counter(protocol.initial_key_counts(self.n))
+        else:
+            lifted = LiftedKeyTransitions(protocol)
+            self._lifted = lifted
+            self._delta = lifted.delta_key
+            self._output_key = lifted.output_key
+            counts: Counter = Counter()
+            for agent_id in range(self.n):
+                counts[lifted.register(protocol.initial_state(agent_id))] += 1
+            self.counts = counts
+        total = sum(self.counts.values())
+        if total != self.n:
+            raise SimulationError(
+                f"initial key histogram covers {total} agents, expected {self.n}"
+            )
+        self.counter = AggregateInteractionCounter(self.n)
+        if track_state_space:
+            for key in self.counts:
+                self.state_space.observe(key)
+        self._deterministic = protocol.deterministic_transitions
+        self._delta_cache: Dict[Tuple[Hashable, Hashable], Tuple[Hashable, Hashable]] = {}
+        self._can_change_cache: Dict[Tuple[Hashable, Hashable], bool] = {}
+        self._output_cache: Dict[Hashable, Any] = {}
+        # Active ordered pair types and their integer weights; rebuilt lazily
+        # in full once, then maintained incrementally per event.
+        self._pair_weights: Dict[Tuple[Hashable, Hashable], int] = {}
+        self._active_weight = 0
+        self._rebuild_pair_weights()
+
+    # ------------------------------------------------------------ pair table
+    def _can_change(self, key_a: Hashable, key_b: Hashable) -> bool:
+        cached = self._can_change_cache.get((key_a, key_b))
+        if cached is None:
+            cached = bool(self.protocol.can_interaction_change(key_a, key_b))
+            self._can_change_cache[(key_a, key_b)] = cached
+        return cached
+
+    def _pair_weight(self, key_a: Hashable, key_b: Hashable) -> int:
+        count_a = self.counts.get(key_a, 0)
+        if key_a == key_b:
+            return count_a * (count_a - 1)
+        return count_a * self.counts.get(key_b, 0)
+
+    #: Below this many distinct keys a full O(K^2) table rebuild (with lower
+    #: constants) beats the O(changed * K) incremental update.
+    _REBUILD_THRESHOLD = 16
+
+    def _rebuild_pair_weights(self) -> None:
+        """Recompute the full active-pair weight table (O(K^2), inlined hot path)."""
+        counts = self.counts
+        can_cache = self._can_change_cache
+        can_change = self.protocol.can_interaction_change
+        pair_weights: Dict[Tuple[Hashable, Hashable], int] = {}
+        total = 0
+        items = list(counts.items())
+        for key_a, count_a in items:
+            for key_b, count_b in items:
+                if key_a == key_b:
+                    weight = count_a * (count_a - 1)
+                else:
+                    weight = count_a * count_b
+                if weight <= 0:
+                    continue
+                pair = (key_a, key_b)
+                changeable = can_cache.get(pair)
+                if changeable is None:
+                    changeable = bool(can_change(key_a, key_b))
+                    can_cache[pair] = changeable
+                if changeable:
+                    pair_weights[pair] = weight
+                    total += weight
+        self._pair_weights = pair_weights
+        self._active_weight = total
+
+    def _update_pair_weights(self, changed: Tuple[Hashable, ...]) -> None:
+        """Refresh pair weights after an event changed the ``changed`` keys.
+
+        Small configurations are rebuilt wholesale (lower constants); larger
+        ones are updated incrementally, touching only the O(changed * K)
+        ordered pairs that involve a changed key.
+        """
+        if len(self.counts) <= self._REBUILD_THRESHOLD:
+            self._rebuild_pair_weights()
+            return
+        changed_set = set(changed)
+        neighbours = set(self.counts) | changed_set
+        pair_weights = self._pair_weights
+        total = self._active_weight
+        for key_d in changed_set:
+            for key_x in neighbours:
+                pairs = (
+                    ((key_d, key_d),)
+                    if key_x == key_d
+                    else ((key_d, key_x), (key_x, key_d))
+                )
+                for pair in pairs:
+                    old = pair_weights.pop(pair, 0)
+                    total -= old
+                    weight = self._pair_weight(*pair)
+                    if weight > 0 and self._can_change(*pair):
+                        pair_weights[pair] = weight
+                        total += weight
+        self._active_weight = total
+
+    # -------------------------------------------------------------- stepping
+    def advance_to(self, target: int) -> None:
+        ordered_pairs = self.n * (self.n - 1)
+        log = math.log
+        log1p = math.log1p
+        pair_rng = self._pair_rng
+        while self.interactions < target and not self.terminal:
+            weight = self._active_weight
+            if weight <= 0:
+                self.terminal = True
+                break
+            if weight >= ordered_pairs:
+                skip = 0
+            else:
+                # Number of configuration-preserving interactions before the
+                # next configuration-changing one: Geometric(p), p = W / T.
+                uniform = 1.0 - pair_rng.random()  # in (0, 1]
+                if uniform >= 1.0:
+                    skip = 0
+                else:
+                    skip = int(log(uniform) / log1p(-weight / ordered_pairs))
+            remaining = target - self.interactions
+            if skip >= remaining:
+                # The whole window is configuration-preserving; the pending
+                # active event is re-sampled next call (memorylessness).
+                self.interactions = target
+                break
+            self.interactions += skip + 1
+            self._apply_event()
+        self.counter.total = self.interactions
+
+    def _apply_event(self) -> None:
+        """Sample one active pair type and apply its transition.
+
+        "Active" means :meth:`can_interaction_change` could not rule out a
+        configuration change; with a conservative (always-``True``) predicate
+        the applied transition may still turn out to be a no-op.
+        """
+        threshold = self._pair_rng.random() * self._active_weight
+        key_a: Hashable = None
+        key_b: Hashable = None
+        for (pair_a, pair_b), weight in self._pair_weights.items():
+            threshold -= weight
+            key_a, key_b = pair_a, pair_b
+            if threshold <= 0:
+                break
+        if self._deterministic:
+            result = self._delta_cache.get((key_a, key_b))
+            if result is None:
+                result = self._delta(key_a, key_b, self._agent_rng)
+                self.transition_calls += 1
+                self._delta_cache[(key_a, key_b)] = result
+        else:
+            result = self._delta(key_a, key_b, self._agent_rng)
+            self.transition_calls += 1
+        new_a, new_b = result
+        if not (
+            (new_a == key_a and new_b == key_b)
+            or (new_a == key_b and new_b == key_a)
+        ):
+            counts = self.counts
+            counts[key_a] -= 1
+            counts[key_b] -= 1
+            counts[new_a] += 1
+            counts[new_b] += 1
+            for key in (key_a, key_b):
+                if counts.get(key) == 0:
+                    del counts[key]
+            if self.track_state_space:
+                self.state_space.observe(new_a)
+                self.state_space.observe(new_b)
+            self._update_pair_weights((key_a, key_b, new_a, new_b))
+        simulator = self.simulator
+        if simulator.hooks:
+            for hook in simulator.hooks:
+                hook.on_batch_event(simulator, key_a, key_b, new_a, new_b)
+
+    # ------------------------------------------------------------- observers
+    def state_key_counts(self) -> Counter:
+        return Counter(self.counts)
+
+    def output_counts(self) -> Counter:
+        output_counts: Counter = Counter()
+        cache = self._output_cache
+        for key, count in self.counts.items():
+            output = cache.get(key, cache)
+            if output is cache:  # sentinel: not yet computed
+                output = self._output_key(key)
+                cache[key] = output
+            output_counts[output] += count
+        return output_counts
+
+    def outputs(self) -> List[Any]:
+        expanded: List[Any] = []
+        for output, count in self.output_counts().items():
+            expanded.extend([output] * count)
+        return expanded
+
+    def convergence_view(self) -> Counter:
+        return self.output_counts()

@@ -9,19 +9,29 @@ The paper distinguishes two notions (Section 1.1):
   leave the set of desired configurations.
 
 Convergence is detected empirically: the simulator evaluates a predicate on
-the vector of agent outputs at a configurable cadence and reports the first
+the agent outputs at a configurable cadence and reports the first
 interaction of the final uninterrupted run of satisfied checks.
 Stabilisation is detected structurally for protocols that implement
 :meth:`repro.engine.protocol.Protocol.can_interaction_change`.
+
+Predicates accept either a *sequence* of per-agent outputs (what the
+per-agent backend produces) or a *histogram* mapping output values to
+multiplicities (what the batch backend produces — it never materialises
+per-agent lists).  Every predicate built by the factories in this module
+handles both forms; custom predicates used with the batch backend must do
+the same, for which :func:`output_items` is the convenient building block.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "OutputPredicate",
+    "OutputsView",
+    "output_items",
+    "total_outputs",
     "all_outputs_equal",
     "all_outputs_satisfy",
     "fraction_outputs_satisfy",
@@ -29,7 +39,34 @@ __all__ = [
     "ConvergenceTracker",
 ]
 
-OutputPredicate = Callable[[Sequence[Any]], bool]
+#: What a convergence predicate receives: per-agent outputs or a histogram.
+OutputsView = Union[Sequence[Any], Mapping[Any, int]]
+
+OutputPredicate = Callable[[OutputsView], bool]
+
+_UNSET = object()
+
+
+def output_items(outputs: OutputsView) -> Iterator[Tuple[Any, int]]:
+    """Yield ``(value, multiplicity)`` pairs from either output view.
+
+    Sequences yield each element with multiplicity 1; histograms yield their
+    items with zero-count entries skipped.
+    """
+    if isinstance(outputs, Mapping):
+        for value, count in outputs.items():
+            if count > 0:
+                yield value, count
+    else:
+        for value in outputs:
+            yield value, 1
+
+
+def total_outputs(outputs: OutputsView) -> int:
+    """Number of agents represented by either output view."""
+    if isinstance(outputs, Mapping):
+        return sum(count for count in outputs.values() if count > 0)
+    return len(outputs)
 
 
 def all_outputs_equal(target: Any = None) -> OutputPredicate:
@@ -39,13 +76,16 @@ def all_outputs_equal(target: Any = None) -> OutputPredicate:
         target: When given, all outputs must additionally equal this value.
     """
 
-    def predicate(outputs: Sequence[Any]) -> bool:
-        if not outputs:
-            return False
-        first = outputs[0]
-        if target is not None and first != target:
-            return False
-        return all(value == first for value in outputs)
+    def predicate(outputs: OutputsView) -> bool:
+        first = _UNSET
+        for value, _count in output_items(outputs):
+            if first is _UNSET:
+                if target is not None and value != target:
+                    return False
+                first = value
+            elif value != first:
+                return False
+        return first is not _UNSET
 
     predicate.__name__ = f"all_outputs_equal({target!r})"
     return predicate
@@ -54,8 +94,13 @@ def all_outputs_equal(target: Any = None) -> OutputPredicate:
 def all_outputs_satisfy(check: Callable[[Any], bool]) -> OutputPredicate:
     """Predicate: every individual agent output satisfies ``check``."""
 
-    def predicate(outputs: Sequence[Any]) -> bool:
-        return bool(outputs) and all(check(value) for value in outputs)
+    def predicate(outputs: OutputsView) -> bool:
+        seen_any = False
+        for value, _count in output_items(outputs):
+            if not check(value):
+                return False
+            seen_any = True
+        return seen_any
 
     predicate.__name__ = f"all_outputs_satisfy({getattr(check, '__name__', 'check')})"
     return predicate
@@ -70,11 +115,14 @@ def fraction_outputs_satisfy(check: Callable[[Any], bool], fraction: float) -> O
     if not 0.0 < fraction <= 1.0:
         raise ValueError("fraction must lie in (0, 1]")
 
-    def predicate(outputs: Sequence[Any]) -> bool:
-        if not outputs:
-            return False
-        good = sum(1 for value in outputs if check(value))
-        return good >= fraction * len(outputs)
+    def predicate(outputs: OutputsView) -> bool:
+        good = 0
+        total = 0
+        for value, count in output_items(outputs):
+            total += count
+            if check(value):
+                good += count
+        return total > 0 and good >= fraction * total
 
     predicate.__name__ = f"fraction_outputs_satisfy({fraction})"
     return predicate
@@ -88,8 +136,13 @@ def outputs_in(allowed: Iterable[Any]) -> OutputPredicate:
     """
     allowed_set = set(allowed)
 
-    def predicate(outputs: Sequence[Any]) -> bool:
-        return bool(outputs) and all(value in allowed_set for value in outputs)
+    def predicate(outputs: OutputsView) -> bool:
+        seen_any = False
+        for value, _count in output_items(outputs):
+            if value not in allowed_set:
+                return False
+            seen_any = True
+        return seen_any
 
     predicate.__name__ = f"outputs_in({sorted(map(repr, allowed_set))})"
     return predicate

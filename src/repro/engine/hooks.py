@@ -8,7 +8,7 @@ deliberate, documented break of uniformity confined to the analysis layer).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Hashable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
     from .simulator import Simulator
@@ -17,7 +17,18 @@ __all__ = ["Hook", "CallbackHook", "FailureInjectionHook"]
 
 
 class Hook:
-    """Base class for simulation observers.  All callbacks default to no-ops."""
+    """Base class for simulation observers.  All callbacks default to no-ops.
+
+    Hooks that can only observe correctly through the per-agent callbacks
+    (``before_interaction``/``after_interaction``) must set
+    :attr:`requires_agent_backend` so the simulator rejects them under the
+    batch backend instead of silently never invoking them.
+    """
+
+    #: When ``True``, constructing a batch-backend simulator with this hook
+    #: raises ``ConfigurationError`` (and ``backend="auto"`` selects the
+    #: per-agent backend instead).
+    requires_agent_backend: bool = False
 
     def on_start(self, simulator: "Simulator") -> None:
         """Called once before the first interaction of a run."""
@@ -27,6 +38,27 @@ class Hook:
 
     def after_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
         """Called after each interaction with the scheduled agent indices."""
+
+    def on_batch_event(
+        self,
+        simulator: "Simulator",
+        key_a: Hashable,
+        key_b: Hashable,
+        new_key_a: Hashable,
+        new_key_b: Hashable,
+    ) -> None:
+        """Called by the batch backend after each individually simulated event.
+
+        The batch backend has no agent identities, so ``before_interaction``
+        and ``after_interaction`` never fire under it; this callback receives
+        the ordered pair of pre-interaction state keys and the resulting
+        post-interaction keys instead.  One callback fires per *event* — an
+        interaction whose pair type could change the configuration.  The
+        event may still be a no-op (``new_key_a == key_a`` etc.) when the
+        protocol's ``can_interaction_change`` is conservative; interactions
+        that provably preserve the configuration are skipped in bulk and
+        produce no callback.
+        """
 
     def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
         """Called whenever the simulator evaluates its convergence predicate."""
@@ -48,12 +80,16 @@ class CallbackHook(Hook):
         after_interaction: Optional[Callable[["Simulator", int, int], None]] = None,
         on_checkpoint: Optional[Callable[["Simulator", bool], None]] = None,
         on_end: Optional[Callable[["Simulator"], None]] = None,
+        on_batch_event: Optional[
+            Callable[["Simulator", Hashable, Hashable, Hashable, Hashable], None]
+        ] = None,
     ) -> None:
         self._on_start = on_start
         self._before = before_interaction
         self._after = after_interaction
         self._on_checkpoint = on_checkpoint
         self._on_end = on_end
+        self._on_batch_event = on_batch_event
 
     def on_start(self, simulator: "Simulator") -> None:
         if self._on_start:
@@ -66,6 +102,17 @@ class CallbackHook(Hook):
     def after_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
         if self._after:
             self._after(simulator, initiator, responder)
+
+    def on_batch_event(
+        self,
+        simulator: "Simulator",
+        key_a: Hashable,
+        key_b: Hashable,
+        new_key_a: Hashable,
+        new_key_b: Hashable,
+    ) -> None:
+        if self._on_batch_event:
+            self._on_batch_event(simulator, key_a, key_b, new_key_a, new_key_b)
 
     def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
         if self._on_checkpoint:
@@ -88,6 +135,11 @@ class FailureInjectionHook(Hook):
         corrupt: Callable receiving ``(simulator, rng)`` that mutates one or
             more agent states in place.
     """
+
+    # Corruption mutates per-agent state objects, which only the agent
+    # backend materialises; under the batch backend this hook would silently
+    # never fire and report falsely clean stability results.
+    requires_agent_backend = True
 
     def __init__(self, at_interaction: int, corrupt: Callable[["Simulator"], None]) -> None:
         self.at_interaction = at_interaction

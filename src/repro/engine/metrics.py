@@ -15,7 +15,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
-__all__ = ["StateSpaceTracker", "InteractionCounter", "MetricsSnapshot"]
+__all__ = [
+    "StateSpaceTracker",
+    "InteractionCounter",
+    "AggregateInteractionCounter",
+    "MetricsSnapshot",
+]
 
 
 class StateSpaceTracker:
@@ -112,6 +117,35 @@ class InteractionCounter:
             "min_participation": self.min_participation,
             "agents_never_interacted": self.agents_never_interacted,
         }
+
+
+class AggregateInteractionCounter:
+    """Interaction totals without per-agent attribution.
+
+    The batch backend operates on the configuration histogram, in which agent
+    identities do not exist, so per-agent participation cannot be attributed.
+    This counter exposes the same summary interface as
+    :class:`InteractionCounter` with the per-agent quantities reported as
+    zero and flagged as untracked in :meth:`as_dict`.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.total = 0
+
+    @property
+    def min_participation(self) -> int:
+        """Not tracked at configuration level; always 0."""
+        return 0
+
+    @property
+    def agents_never_interacted(self) -> int:
+        """Not tracked at configuration level; always 0."""
+        return 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly summary."""
+        return {"total": self.total, "per_agent_tracked": False}
 
 
 @dataclass

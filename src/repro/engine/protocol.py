@@ -26,7 +26,8 @@ from __future__ import annotations
 import abc
 import dataclasses
 import random
-from typing import Any, Generic, Hashable, Iterable, Sequence, TypeVar
+from collections import Counter
+from typing import Any, Generic, Hashable, Iterable, Sequence, Tuple, TypeVar
 
 __all__ = ["Protocol", "state_fields", "generic_state_key"]
 
@@ -72,6 +73,11 @@ class Protocol(abc.ABC, Generic[S]):
 
     name: str = ""
     uniform: bool = True
+    #: ``True`` when :meth:`transition` (and :meth:`delta_key`) never consume
+    #: randomness, i.e. the pair of post-interaction states is a pure function
+    #: of the pair of pre-interaction state keys.  The batch backend uses this
+    #: to memoise key-level transitions per pair *type*.
+    deterministic_transitions: bool = False
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
@@ -117,13 +123,73 @@ class Protocol(abc.ABC, Generic[S]):
         )
 
     def can_interaction_change(self, key_a: Hashable, key_b: Hashable) -> bool:
-        """Return whether an (a, b) interaction could modify either state.
+        """Return whether an (a, b) interaction could change the *configuration*.
 
-        Used for *stabilisation* detection: a configuration is stable when no
-        ordered pair of present state keys can change any state.  The default
-        is conservative (``True``); deterministic protocols override it.
+        The configuration is the multiset of state keys, so an interaction
+        that merely swaps the two participants' keys does not count as a
+        change.  Used for *stabilisation* detection (a configuration is
+        stable when no ordered pair of present state keys can change it) and
+        by the batch backend to skip runs of configuration-preserving
+        interactions in one geometric jump.  The default is conservative
+        (``True``); protocols should override it — a ``False`` answer must be
+        exact, a ``True`` answer may be conservative.
         """
         return True
+
+    # --------------------------------------------------- key-level transitions
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        """Apply one interaction at the level of state *keys*.
+
+        Returns the pair of post-interaction keys for an (initiator,
+        responder) interaction between agents whose states have keys
+        ``key_a`` and ``key_b``.  This is the configuration-as-multiset view
+        of the transition function: the batch backend only ever manipulates
+        key histograms, never per-agent state objects, so a protocol that
+        implements :meth:`delta_key` (together with :meth:`output_key`) can
+        be simulated at population sizes where materialising ``n`` state
+        objects is prohibitive.
+
+        Implementations must be *behaviourally identical* to
+        :meth:`transition` applied to states with the given keys.  Protocols
+        that do not implement the key-level API are lifted automatically via
+        :class:`repro.engine.backends.LiftedKeyTransitions` (which relies on
+        :meth:`copy_state`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement key-level transitions"
+        )
+
+    def output_key(self, key: Hashable) -> Any:
+        """Return the output ``omega`` of an agent whose state has key ``key``.
+
+        Must agree with :meth:`output` on every reachable state.  Required by
+        the batch backend alongside :meth:`delta_key`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement key-level outputs"
+        )
+
+    def initial_key_counts(self, n: int) -> Counter:
+        """Return the initial configuration as a histogram of state keys.
+
+        The default materialises every initial state, which is correct but
+        costs ``O(n)`` object constructions; protocols with closed-form
+        initial configurations override it so the batch backend can start a
+        run at ``n = 10**6`` and beyond in ``O(1)``.
+        """
+        counts: Counter = Counter()
+        for agent_id in range(n):
+            counts[self.state_key(self.initial_state(agent_id))] += 1
+        return counts
+
+    def supports_key_transitions(self) -> bool:
+        """Whether this protocol natively implements the key-level API."""
+        return (
+            type(self).delta_key is not Protocol.delta_key
+            and type(self).output_key is not Protocol.output_key
+        )
 
     def describe(self) -> str:
         """One-line description used by the CLI and experiment reports."""

@@ -33,11 +33,12 @@ class OutputTraceRecorder(Hook):
         self.every = every
         self.max_snapshots = max_snapshots
         self.snapshots: List[MetricsSnapshot] = []
+        self._last_bucket = 0
 
     def _snapshot(self, simulator: "Simulator") -> None:
         if len(self.snapshots) >= self.max_snapshots:
             return
-        histogram = Counter(simulator.outputs())
+        histogram = simulator.output_counts()
         self.snapshots.append(
             MetricsSnapshot(
                 interaction=simulator.interactions,
@@ -51,6 +52,16 @@ class OutputTraceRecorder(Hook):
 
     def after_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
         if self.every is not None and simulator.interactions % self.every == 0:
+            self._snapshot(simulator)
+
+    def on_batch_event(self, simulator: "Simulator", *keys) -> None:
+        # The batch backend advances many interactions per event, so ``every``
+        # is honoured at event granularity: one snapshot per crossed bucket.
+        if self.every is None:
+            return
+        bucket = simulator.interactions // self.every
+        if bucket > self._last_bucket:
+            self._last_bucket = bucket
             self._snapshot(simulator)
 
     def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
@@ -77,6 +88,4 @@ class StateHistogramRecorder(Hook):
         self.final_histogram: Counter = Counter()
 
     def on_end(self, simulator: "Simulator") -> None:
-        self.final_histogram = Counter(
-            simulator.protocol.state_key(state) for state in simulator.states
-        )
+        self.final_histogram = simulator.state_key_counts()

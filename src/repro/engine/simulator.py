@@ -7,6 +7,12 @@ tracks interaction counts, observed state-space size, and convergence of a
 user-supplied output predicate, and reports everything in a
 :class:`SimulationResult`.
 
+Execution is delegated to a pluggable *backend*
+(:mod:`repro.engine.backends`): the per-agent reference backend runs one
+Python-level transition per interaction, while the batch backend operates on
+the configuration histogram and samples batches of interactions at once —
+the representation that makes runs at ``n >= 10**6`` tractable.
+
 A convenience function :func:`simulate` covers the common one-shot case.
 """
 
@@ -16,8 +22,9 @@ import math
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .backends import BACKEND_NAMES, AgentBackend, Backend, BatchBackend
 from .convergence import ConvergenceTracker, OutputPredicate
 from .errors import ConfigurationError, SimulationError, UniformityError
 from .hooks import Hook
@@ -27,6 +34,10 @@ from .rng import SeedLike, make_rng
 from .scheduler import Scheduler, UniformRandomScheduler
 
 __all__ = ["SimulationResult", "Simulator", "simulate", "default_interaction_budget"]
+
+#: Above this population size the batch backend omits the expanded per-agent
+#: ``outputs`` list from results (the histogram is always present).
+OUTPUT_LIST_LIMIT = 1 << 17
 
 
 def default_interaction_budget(n: int, factor: float = 64.0, exponent: float = 2.0) -> int:
@@ -48,26 +59,34 @@ class SimulationResult:
     Attributes:
         protocol_name: Name of the protocol that was run.
         n: Population size.
-        seed: Seed the run was started with.
+        seed: Seed the run was started with.  Integer seeds are stored
+            as-is; any other seed value is stored as its stable ``repr``.
         interactions: Total number of interactions executed.
         converged: Whether the convergence predicate held at the final
             checkpoint (and therefore from :attr:`convergence_interaction` on).
         convergence_interaction: First interaction of the final satisfied
             streak of convergence checks, or ``None`` if never satisfied.
         stopped_reason: Why the run ended (``"converged"``, ``"budget"``,
-            ``"terminal"``).
-        outputs: Final per-agent outputs.
+            ``"converged-at-budget"``, ``"terminal"``).
+        outputs: Final per-agent outputs.  The batch backend synthesises
+            this list from the histogram (its order is arbitrary) and omits
+            it entirely above ``OUTPUT_LIST_LIMIT`` agents, in which case
+            ``extra["outputs_omitted"]`` is set.
         output_counts: Histogram of final outputs.
         distinct_states: Number of distinct state keys observed.
         state_space: Detailed state-space summary (per-field ranges).
-        min_participation: Minimum number of interactions any agent took part in.
+        min_participation: Minimum number of interactions any agent took part
+            in (0 under the batch backend, which does not track identities;
+            see ``extra["participation_tracked"]``).
         wall_time_s: Wall-clock duration of the run in seconds.
-        extra: Free-form protocol- or experiment-specific data.
+        extra: Free-form protocol- or experiment-specific data.  Always
+            includes ``backend``, ``transition_calls``, ``convergence_checks``
+            and ``satisfied_checks``.
     """
 
     protocol_name: str
     n: int
-    seed: Optional[int]
+    seed: Optional[Union[int, str]]
     interactions: int
     converged: bool
     convergence_interaction: Optional[int]
@@ -100,7 +119,9 @@ class SimulationResult:
             "protocol": self.protocol_name,
             "n": self.n,
             "seed": self.seed,
+            "backend": self.extra.get("backend"),
             "interactions": self.interactions,
+            "transition_calls": self.extra.get("transition_calls"),
             "converged": self.converged,
             "convergence_interaction": self.convergence_interaction,
             "stopped_reason": self.stopped_reason,
@@ -109,6 +130,13 @@ class SimulationResult:
             "distinct_states": self.distinct_states,
             "wall_time_s": round(self.wall_time_s, 4),
         }
+
+
+def _record_seed(seed: SeedLike) -> Optional[Union[int, str]]:
+    """Stable, JSON-friendly representation of the run seed."""
+    if seed is None or isinstance(seed, int):
+        return seed
+    return repr(seed)
 
 
 class Simulator:
@@ -120,12 +148,20 @@ class Simulator:
         seed: Base seed; the scheduler and the agents' synthetic coins derive
             independent sub-streams from it.
         scheduler: Interaction scheduler; defaults to the uniform random
-            scheduler of the population model.
+            scheduler of the population model.  Custom schedulers force the
+            per-agent backend.
         hooks: Observers notified of simulation events.
         track_state_space: Whether to maintain the observed-state-space
             tracker (cheap, but can be disabled for micro-benchmarks).
         require_uniform: When ``True``, refuse to construct a simulator for a
             protocol that declares ``uniform = False``.
+        backend: ``"agent"`` (default) runs the reference per-agent loop;
+            ``"batch"`` runs the batched configuration-vector backend (using
+            the key-lifting adapter when the protocol has no native
+            ``delta_key``); ``"auto"`` picks ``"batch"`` when the protocol
+            natively supports key-level transitions and neither a custom
+            scheduler nor a hook requiring per-agent callbacks is in play,
+            else ``"agent"``.
     """
 
     def __init__(
@@ -137,6 +173,7 @@ class Simulator:
         hooks: Iterable[Hook] = (),
         track_state_space: bool = True,
         require_uniform: bool = False,
+        backend: str = "agent",
     ) -> None:
         if n < 2:
             raise ConfigurationError("population size must be at least 2")
@@ -144,53 +181,134 @@ class Simulator:
             raise UniformityError(
                 f"protocol {protocol.name!r} is not uniform but uniformity was required"
             )
+        if backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+            )
         self.protocol = protocol
         self.n = n
         self.seed = seed
-        self.scheduler = scheduler if scheduler is not None else UniformRandomScheduler()
         self.hooks: List[Hook] = list(hooks)
         self._scheduler_rng = make_rng(seed, "scheduler")
         self._agent_rng = make_rng(seed, "agents")
-        self.states: List[Any] = [protocol.initial_state(i) for i in range(n)]
-        self.interactions = 0
-        self.counter = InteractionCounter(n)
         self.track_state_space = track_state_space
-        self.state_space = StateSpaceTracker()
-        if track_state_space:
-            for state in self.states:
-                self.state_space.observe(protocol.state_key(state))
+
+        custom_scheduler = scheduler is not None and not isinstance(
+            scheduler, UniformRandomScheduler
+        )
+        agent_only_hooks = [
+            hook for hook in self.hooks if getattr(hook, "requires_agent_backend", False)
+        ]
+        if backend == "auto":
+            backend = (
+                "batch"
+                if protocol.supports_key_transitions()
+                and not custom_scheduler
+                and not agent_only_hooks
+                else "agent"
+            )
+        if backend == "batch":
+            if custom_scheduler:
+                raise ConfigurationError(
+                    "the batch backend implements the uniform random scheduler; "
+                    f"it cannot honour {type(scheduler).__name__}"
+                )
+            if agent_only_hooks:
+                names = ", ".join(type(hook).__name__ for hook in agent_only_hooks)
+                raise ConfigurationError(
+                    f"hooks requiring per-agent callbacks cannot observe the "
+                    f"batch backend: {names}"
+                )
+            self.scheduler: Scheduler = UniformRandomScheduler()
+            self._backend: Backend = BatchBackend(
+                self,
+                scheduler_rng=self._scheduler_rng,
+                agent_rng=self._agent_rng,
+                track_state_space=track_state_space,
+            )
+        else:
+            self.scheduler = scheduler if scheduler is not None else UniformRandomScheduler()
+            self._backend = AgentBackend(
+                self,
+                scheduler=self.scheduler,
+                scheduler_rng=self._scheduler_rng,
+                agent_rng=self._agent_rng,
+                track_state_space=track_state_space,
+            )
+
+    # --------------------------------------------------------------- backend
+    @property
+    def backend(self) -> Backend:
+        """The execution backend driving this simulator."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active backend (``"agent"`` or ``"batch"``)."""
+        return self._backend.name
+
+    @property
+    def interactions(self) -> int:
+        """Total number of interactions executed so far."""
+        return self._backend.interactions
+
+    @property
+    def counter(self):
+        """The backend's interaction counter (aggregate-only for batch)."""
+        return self._backend.counter
+
+    @property
+    def state_space(self) -> StateSpaceTracker:
+        """The backend's observed-state-space tracker."""
+        return self._backend.state_space
+
+    @property
+    def states(self) -> List[Any]:
+        """Per-agent state objects (per-agent backend only)."""
+        backend = self._backend
+        if isinstance(backend, AgentBackend):
+            return backend.states
+        raise SimulationError(
+            "the batch backend does not materialise per-agent states; "
+            "use state_key_counts() instead"
+        )
 
     # ------------------------------------------------------------ observers
     def outputs(self) -> List[Any]:
-        """Return the current per-agent outputs."""
-        output = self.protocol.output
-        return [output(state) for state in self.states]
+        """Return the current per-agent outputs.
+
+        Under the batch backend the list is synthesised from the output
+        histogram and its order is arbitrary.
+        """
+        return self._backend.outputs()
 
     def output_counts(self) -> Counter:
         """Return a histogram of the current per-agent outputs."""
-        return Counter(self.outputs())
+        return self._backend.output_counts()
 
     def state_keys(self) -> List[Hashable]:
         """Return the current per-agent state keys."""
-        key = self.protocol.state_key
-        return [key(state) for state in self.states]
+        return self._backend.state_keys()
+
+    def state_key_counts(self) -> Counter:
+        """Return the current configuration as a state-key histogram."""
+        return self._backend.state_key_counts()
 
     def is_stable_configuration(self) -> bool:
         """Check structural stability of the current configuration.
 
         A configuration is stable when no ordered pair of currently-present
-        state keys can change either participant.  This relies on the
-        protocol overriding
+        state keys can change it.  This relies on the protocol overriding
         :meth:`repro.engine.protocol.Protocol.can_interaction_change`; for
         protocols using the conservative default this returns ``False``
         unless only a single state key remains and it is a fixed point.
         """
-        keys = set(self.state_keys())
+        counts = self._backend.state_key_counts()
         can_change = self.protocol.can_interaction_change
-        for a in keys:
-            for b in keys:
+        for a in counts:
+            for b in counts:
                 if a is b or a == b:
-                    if can_change(a, b):
+                    if counts[a] >= 2 and can_change(a, b):
                         return False
                 elif can_change(a, b) or can_change(b, a):
                     return False
@@ -198,24 +316,18 @@ class Simulator:
 
     # ------------------------------------------------------------- stepping
     def step(self) -> Tuple[int, int]:
-        """Execute a single interaction and return the (initiator, responder) pair."""
-        initiator, responder = self.scheduler.next_pair(
-            self.n, self._scheduler_rng, self.interactions
-        )
-        for hook in self.hooks:
-            hook.before_interaction(self, initiator, responder)
-        self.protocol.transition(
-            self.states[initiator], self.states[responder], self._agent_rng
-        )
-        self.interactions += 1
-        self.counter.record(initiator, responder)
-        if self.track_state_space:
-            key = self.protocol.state_key
-            self.state_space.observe(key(self.states[initiator]))
-            self.state_space.observe(key(self.states[responder]))
-        for hook in self.hooks:
-            hook.after_interaction(self, initiator, responder)
-        return initiator, responder
+        """Execute a single interaction and return the (initiator, responder) pair.
+
+        Only meaningful for the per-agent backend; the batch backend advances
+        whole windows of interactions at once via :meth:`run`.
+        """
+        backend = self._backend
+        if not isinstance(backend, AgentBackend):
+            raise SimulationError(
+                "step() requires the per-agent backend; the batch backend is "
+                "driven through run()"
+            )
+        return backend.step()
 
     def run(
         self,
@@ -231,9 +343,12 @@ class Simulator:
         Args:
             max_interactions: Interaction budget.  Defaults to
                 :func:`default_interaction_budget`.
-            convergence: Predicate over the vector of agent outputs defining
-                the desired configurations.  When omitted, the run simply
-                exhausts its budget.
+            convergence: Predicate over the agent outputs defining the
+                desired configurations.  It receives the per-agent output
+                list under the agent backend and the output histogram under
+                the batch backend; the predicates built by
+                :mod:`repro.engine.convergence` accept both.  When omitted,
+                the run simply exhausts its budget.
             check_interval: How often (in interactions) the predicate is
                 evaluated.  Defaults to ``n`` (one parallel-time unit).
             stop_when_converged: Stop early once the predicate has held for
@@ -252,17 +367,31 @@ class Simulator:
         if confirm_checks < 1:
             raise ConfigurationError("confirm_checks must be at least 1")
 
+        backend = self._backend
         tracker = ConvergenceTracker()
         started = time.perf_counter()
         stopped_reason = "budget"
+        # Interaction index of the last evaluated checkpoint; guards against
+        # double-recording the final configuration when the budget is aligned
+        # with the check cadence.
+        last_checked = 0
         for hook in self.hooks:
             hook.on_start(self)
 
-        while self.interactions < budget:
-            self.step()
-            if convergence is not None and self.interactions % cadence == 0:
-                satisfied = convergence(self.outputs())
-                tracker.record(self.interactions - cadence + 1, satisfied)
+        while backend.interactions < budget:
+            if convergence is not None:
+                next_stop = min(budget, (backend.interactions // cadence + 1) * cadence)
+            else:
+                next_stop = budget
+            backend.advance_to(next_stop)
+            if (
+                convergence is not None
+                and backend.interactions % cadence == 0
+                and backend.interactions != last_checked
+            ):
+                satisfied = convergence(backend.convergence_view())
+                tracker.record(last_checked + 1, satisfied)
+                last_checked = backend.interactions
                 for hook in self.hooks:
                     hook.on_checkpoint(self, satisfied)
                 if (
@@ -272,14 +401,17 @@ class Simulator:
                 ):
                     stopped_reason = "converged"
                     break
+            if backend.terminal:
+                stopped_reason = "terminal"
+                break
 
         converged = False
         convergence_interaction: Optional[int] = None
         if convergence is not None:
-            final_satisfied = convergence(self.outputs())
-            if stopped_reason != "converged" or not tracker.currently_satisfied:
-                tracker.record(self.interactions, final_satisfied)
-            converged = tracker.currently_satisfied and final_satisfied
+            if backend.interactions != last_checked or tracker.checks == 0:
+                final_satisfied = convergence(backend.convergence_view())
+                tracker.record(last_checked + 1, final_satisfied)
+            converged = tracker.currently_satisfied
             convergence_interaction = tracker.convergence_interaction if converged else None
             if converged and stopped_reason == "budget":
                 stopped_reason = "converged-at-budget"
@@ -294,21 +426,34 @@ class Simulator:
                 f"converge within {budget} interactions"
             )
 
-        outputs = self.outputs()
+        output_counts = backend.output_counts()
+        extra: Dict[str, Any] = {
+            "backend": backend.name,
+            "transition_calls": backend.transition_calls,
+            "convergence_checks": tracker.checks,
+            "satisfied_checks": tracker.satisfied_checks,
+            "participation_tracked": isinstance(backend, AgentBackend),
+        }
+        if isinstance(backend, AgentBackend) or self.n <= OUTPUT_LIST_LIMIT:
+            outputs = backend.outputs()
+        else:
+            outputs = []
+            extra["outputs_omitted"] = True
         return SimulationResult(
             protocol_name=self.protocol.name,
             n=self.n,
-            seed=self.seed if isinstance(self.seed, int) else None,
-            interactions=self.interactions,
+            seed=_record_seed(self.seed),
+            interactions=backend.interactions,
             converged=converged,
             convergence_interaction=convergence_interaction,
             stopped_reason=stopped_reason,
             outputs=outputs,
-            output_counts=Counter(outputs),
-            distinct_states=self.state_space.distinct_states,
-            state_space=self.state_space.as_dict(),
-            min_participation=self.counter.min_participation,
+            output_counts=output_counts,
+            distinct_states=backend.state_space.distinct_states,
+            state_space=backend.state_space.as_dict(),
+            min_participation=backend.min_participation,
             wall_time_s=wall,
+            extra=extra,
         )
 
 
@@ -325,10 +470,13 @@ def simulate(
     confirm_checks: int = 3,
     require_convergence: bool = False,
     require_uniform: bool = False,
+    backend: str = "agent",
 ) -> SimulationResult:
     """One-shot convenience wrapper: construct a :class:`Simulator` and run it.
 
-    See :meth:`Simulator.run` for the meaning of the arguments.
+    See :meth:`Simulator.run` for the meaning of the arguments and the
+    ``backend`` parameter of :class:`Simulator` for backend selection
+    (``"agent"``, ``"batch"``, or ``"auto"``).
     """
     simulator = Simulator(
         protocol,
@@ -337,6 +485,7 @@ def simulate(
         scheduler=scheduler,
         hooks=hooks,
         require_uniform=require_uniform,
+        backend=backend,
     )
     return simulator.run(
         max_interactions=max_interactions,

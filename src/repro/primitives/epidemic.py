@@ -18,8 +18,9 @@ implementations for isolated study.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from ..engine.errors import ConfigurationError
 from ..engine.protocol import Protocol
@@ -68,6 +69,7 @@ class OneWayEpidemic(Protocol[EpidemicState]):
     """
 
     name = "one-way-epidemic"
+    deterministic_transitions = True
 
     def __init__(self, source_count: int = 1, source_value: int = 1) -> None:
         if source_count < 1:
@@ -93,6 +95,21 @@ class OneWayEpidemic(Protocol[EpidemicState]):
         # The initiator changes iff the responder holds a strictly larger value.
         return bool(key_b > key_a)  # type: ignore[operator]
 
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        return epidemic_update(key_a, key_b), key_b  # type: ignore[arg-type]
+
+    def output_key(self, key: Hashable) -> int:
+        return key  # type: ignore[return-value]
+
+    def initial_key_counts(self, n: int) -> Counter:
+        sources = min(self.source_count, n)
+        counts = Counter({self.source_value: sources})
+        if n > sources:
+            counts[0] = n - sources
+        return counts
+
 
 class MaximumBroadcast(Protocol[EpidemicState]):
     """Standalone maximum broadcast: each agent starts with its own value.
@@ -110,6 +127,7 @@ class MaximumBroadcast(Protocol[EpidemicState]):
     """
 
     name = "maximum-broadcast"
+    deterministic_transitions = True
 
     def __init__(self, initial_values: Sequence[int]) -> None:
         if not initial_values:
@@ -131,6 +149,20 @@ class MaximumBroadcast(Protocol[EpidemicState]):
 
     def can_interaction_change(self, key_a: Hashable, key_b: Hashable) -> bool:
         return bool(key_b > key_a)  # type: ignore[operator]
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        return epidemic_update(key_a, key_b), key_b  # type: ignore[arg-type]
+
+    def output_key(self, key: Hashable) -> int:
+        return key  # type: ignore[return-value]
+
+    def initial_key_counts(self, n: int) -> Counter:
+        counts = Counter(self.initial_values[:n])
+        if n > len(self.initial_values):
+            counts[0] += n - len(self.initial_values)
+        return counts
 
     @property
     def target(self) -> int:

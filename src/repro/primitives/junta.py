@@ -25,6 +25,7 @@ choose how many tokens/random bits to use (see
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable, List, Sequence, Tuple
 
@@ -129,6 +130,7 @@ class JuntaProtocol(Protocol[JuntaState]):
     """Standalone junta process for isolated measurement (experiment E5)."""
 
     name = "junta-process"
+    deterministic_transitions = True
 
     def initial_state(self, agent_id: int) -> JuntaState:
         return JuntaState()
@@ -142,13 +144,50 @@ class JuntaProtocol(Protocol[JuntaState]):
         return (state.level, state.active, state.junta)
 
     def can_interaction_change(self, key_a: Hashable, key_b: Hashable) -> bool:
-        level_a, active_a, junta_a = key_a  # type: ignore[misc]
-        level_b, active_b, junta_b = key_b  # type: ignore[misc]
-        if active_a:
-            return True
-        if level_b > level_a:
-            return True
-        return False
+        level_a, active_a, _junta_a, _reached_a = key_a  # type: ignore[misc]
+        level_b, active_b, _junta_b, _reached_b = key_b  # type: ignore[misc]
+        # A symmetric junta interaction is a no-op exactly when both agents
+        # are inactive and on the same level: any active participant changes
+        # (climbs or deactivates), and a level difference clears a junta bit
+        # and/or makes the lower agent adopt the higher level.
+        return bool(active_a or active_b or level_a != level_b)
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        # Pure-key transcription of :func:`junta_update_pair`.
+        level_a0, active_a, junta_a, reached_a = key_a  # type: ignore[misc]
+        level_b0, active_b, junta_b, reached_b = key_b  # type: ignore[misc]
+        level_a, level_b = level_a0, level_b0
+        a_saw_higher = level_b0 > level_a0
+        b_saw_higher = level_a0 > level_b0
+        if active_a and active_b and level_a0 == level_b0:
+            level_a += 1
+            level_b += 1
+            reached_a = level_a
+            reached_b = level_b
+        else:
+            active_a = False
+            active_b = False
+        if a_saw_higher:
+            junta_a = False
+            if not active_a:
+                level_a = max(level_a, level_b0)
+        if b_saw_higher:
+            junta_b = False
+            if not active_b:
+                level_b = max(level_b, level_a0)
+        return (
+            (level_a, active_a, junta_a, reached_a),
+            (level_b, active_b, junta_b, reached_b),
+        )
+
+    def output_key(self, key: Hashable) -> Tuple[int, bool, bool]:
+        level, active, junta, _reached = key  # type: ignore[misc]
+        return (level, active, junta)
+
+    def initial_key_counts(self, n: int) -> Counter:
+        return Counter({(0, True, True, 0): n})
 
 
 def junta_summary(states: Sequence[JuntaState]) -> dict:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence, Tuple
 
@@ -116,6 +117,7 @@ class ClassicalLoadBalancing(Protocol[ClassicalLoadState]):
     """
 
     name = "classical-load-balancing"
+    deterministic_transitions = True
 
     def __init__(self, initial_loads: Sequence[int]) -> None:
         if any(load < 0 for load in initial_loads):
@@ -136,7 +138,23 @@ class ClassicalLoadBalancing(Protocol[ClassicalLoadState]):
         return state.load
 
     def can_interaction_change(self, key_a: Hashable, key_b: Hashable) -> bool:
+        # An even split leaves the *multiset* {floor, ceil} unchanged when the
+        # loads differ by at most one, even though the agents may swap values.
         return abs(int(key_a) - int(key_b)) > 1  # type: ignore[arg-type]
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        return split_evenly(key_a, key_b)  # type: ignore[arg-type]
+
+    def output_key(self, key: Hashable) -> int:
+        return key  # type: ignore[return-value]
+
+    def initial_key_counts(self, n: int) -> Counter:
+        counts = Counter(self.initial_loads[:n])
+        if n > len(self.initial_loads):
+            counts[0] += n - len(self.initial_loads)
+        return counts
 
     @property
     def total_tokens(self) -> int:
@@ -174,6 +192,7 @@ class PowersOfTwoLoadBalancing(Protocol[PowersOfTwoState]):
     """
 
     name = "powers-of-two-load-balancing"
+    deterministic_transitions = True
 
     def __init__(self, kappa: int, loaded_agents: int = 1) -> None:
         if kappa < 0:
@@ -199,6 +218,21 @@ class PowersOfTwoLoadBalancing(Protocol[PowersOfTwoState]):
     def can_interaction_change(self, key_a: Hashable, key_b: Hashable) -> bool:
         k_a, k_b = int(key_a), int(key_b)  # type: ignore[arg-type]
         return (k_a > 0 and k_b == EMPTY) or (k_a == EMPTY and k_b > 0)
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        return balance_powers_of_two(key_a, key_b)  # type: ignore[arg-type]
+
+    def output_key(self, key: Hashable) -> int:
+        return key  # type: ignore[return-value]
+
+    def initial_key_counts(self, n: int) -> Counter:
+        loaded = min(self.loaded_agents, n)
+        counts = Counter({self.kappa: loaded})
+        if n > loaded:
+            counts[EMPTY] += n - loaded
+        return counts
 
     @property
     def total_tokens(self) -> int:

@@ -17,8 +17,9 @@ empirical bias of parity-derived bits against fair PRNG bits).
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, List
+from typing import Hashable, List, Tuple
 
 from ..engine.protocol import Protocol
 
@@ -65,6 +66,7 @@ class ParityCoinProtocol(Protocol[ParityCoinState]):
     """
 
     name = "parity-coin"
+    deterministic_transitions = True
 
     def initial_state(self, agent_id: int) -> ParityCoinState:
         # Half the agents start with parity 1, matching the standard warm start
@@ -85,3 +87,25 @@ class ParityCoinProtocol(Protocol[ParityCoinState]):
         if state.samples == 0:
             return 0.5
         return state.ones / state.samples
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        parity_a, samples_a, ones_a = key_a  # type: ignore[misc]
+        parity_b, samples_b, ones_b = key_b  # type: ignore[misc]
+        return (
+            (parity_a ^ 1, samples_a + 1, ones_a + parity_b),
+            (parity_b ^ 1, samples_b, ones_b),
+        )
+
+    def output_key(self, key: Hashable) -> float:
+        _parity, samples, ones = key  # type: ignore[misc]
+        if samples == 0:
+            return 0.5
+        return ones / samples
+
+    def initial_key_counts(self, n: int) -> Counter:
+        counts = Counter({(0, 0, 0): (n + 1) // 2})
+        if n >= 2:
+            counts[(1, 0, 0)] = n // 2
+        return counts

@@ -1,0 +1,12 @@
+"""Make ``src/`` importable without an installed package.
+
+The tier-1 command is ``PYTHONPATH=src python -m pytest -x -q``; this
+conftest makes the suite also work from a bare ``pytest`` invocation.
+"""
+
+import os
+import sys
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)

@@ -1,0 +1,285 @@
+"""Batch-backend unit tests and agent/batch equivalence checks.
+
+The batch backend simulates the same Markov chain as the agent backend,
+marginalised over agent identities.  For small populations the two must
+therefore agree exactly on reachable state-key sets and consensus outputs,
+and statistically on convergence times.
+"""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.engine import (
+    ConfigurationError,
+    SimulationError,
+    Simulator,
+    all_outputs_equal,
+    outputs_in,
+    simulate,
+)
+from repro.engine.backends import BatchBackend, LiftedKeyTransitions
+from repro.engine.rng import make_rng
+from repro.engine.scheduler import RoundRobinScheduler
+from repro.primitives.epidemic import MaximumBroadcast, OneWayEpidemic
+from repro.primitives.junta import JuntaProtocol
+from repro.primitives.load_balancing import (
+    EMPTY,
+    ClassicalLoadBalancing,
+    PowersOfTwoLoadBalancing,
+)
+from repro.primitives.phase_clock import JuntaPhaseClockProtocol
+from repro.primitives.synthetic_coin import ParityCoinProtocol
+
+
+def _protocol_grid(n):
+    kappa = max(0, (3 * n // 4).bit_length() - 1)
+    return [
+        (OneWayEpidemic(), all_outputs_equal(1)),
+        (JuntaProtocol(), None),
+        (ClassicalLoadBalancing([n]), None),
+        (PowersOfTwoLoadBalancing(kappa=kappa), outputs_in({EMPTY, 0})),
+        (ParityCoinProtocol(), None),
+    ]
+
+
+@pytest.mark.parametrize("n", [8, 32, 64])
+def test_backends_agree_on_consensus_outputs(n):
+    protocol = OneWayEpidemic()
+    agent = simulate(protocol, n, seed=101, convergence=all_outputs_equal(1), backend="agent")
+    batch = simulate(protocol, n, seed=202, convergence=all_outputs_equal(1), backend="batch")
+    assert agent.consensus_output == batch.consensus_output == 1
+    assert agent.n == batch.n
+    assert batch.extra["backend"] == "batch"
+    assert batch.extra["transition_calls"] <= agent.extra["transition_calls"]
+
+
+@pytest.mark.parametrize("n", [8, 32, 64])
+def test_backends_reach_identical_state_key_sets(n):
+    # Run each backend over several seeds and compare the union of observed
+    # state keys; the chains explore the same reachable key space.
+    for protocol_factory, budget in (
+        (lambda: OneWayEpidemic(), 64 * n),
+        (lambda: PowersOfTwoLoadBalancing(kappa=max(0, (3 * n // 4).bit_length() - 1)), 64 * n),
+    ):
+        agent_keys = set()
+        batch_keys = set()
+        for seed in range(5):
+            simulator = Simulator(protocol_factory(), n, seed=seed, backend="agent")
+            simulator.run(max_interactions=budget)
+            agent_keys.update(simulator.state_space._seen)
+            simulator = Simulator(protocol_factory(), n, seed=seed, backend="batch")
+            simulator.run(max_interactions=budget)
+            batch_keys.update(simulator.state_space._seen)
+        assert agent_keys == batch_keys
+
+
+@pytest.mark.parametrize("n", [8, 32, 64])
+def test_batch_conserves_population_and_tokens(n):
+    protocol = ClassicalLoadBalancing([n])
+    simulator = Simulator(protocol, n, seed=9, backend="batch")
+    result = simulator.run(max_interactions=64 * n)
+    counts = simulator.state_key_counts()
+    assert sum(counts.values()) == n
+    assert sum(load * count for load, count in counts.items()) == protocol.total_tokens
+    assert result.interactions <= 64 * n
+
+
+def test_degenerate_single_pair_type_is_exact():
+    # n = 2 with loads {4, 0}: the only configuration-changing pair types are
+    # (4, 0) and (0, 4), both mapping to {2, 2}, and every drawn pair is
+    # active (p = 1).  Both backends must therefore resolve the first
+    # interaction identically, for any seed.
+    for seed in range(10):
+        agent = Simulator(ClassicalLoadBalancing([4]), 2, seed=seed, backend="agent")
+        agent.run(max_interactions=1)
+        batch = Simulator(ClassicalLoadBalancing([4]), 2, seed=seed, backend="batch")
+        batch.run(max_interactions=1)
+        assert agent.state_key_counts() == batch.state_key_counts() == Counter({2: 2})
+    # After that single interaction the configuration is a fixed point, which
+    # the batch backend detects structurally.
+    batch = Simulator(ClassicalLoadBalancing([4]), 2, seed=0, backend="batch")
+    result = batch.run(max_interactions=100)
+    assert result.stopped_reason == "terminal"
+    assert result.interactions == 1
+
+
+def _ks_statistic(first, second):
+    """Two-sample Kolmogorov-Smirnov statistic (no scipy dependency)."""
+    first = sorted(first)
+    second = sorted(second)
+    points = sorted(set(first) | set(second))
+    statistic = 0.0
+    for point in points:
+        cdf_first = sum(1 for value in first if value <= point) / len(first)
+        cdf_second = sum(1 for value in second if value <= point) / len(second)
+        statistic = max(statistic, abs(cdf_first - cdf_second))
+    return statistic
+
+
+def test_convergence_time_distributions_are_compatible():
+    # KS-style tolerance check on epidemic convergence interactions at n = 32.
+    n = 32
+    samples = 40
+    agent_times = []
+    batch_times = []
+    for seed in range(samples):
+        agent = simulate(
+            OneWayEpidemic(), n, seed=seed, backend="agent",
+            convergence=all_outputs_equal(1), check_interval=1, confirm_checks=1,
+        )
+        batch = simulate(
+            OneWayEpidemic(), n, seed=1000 + seed, backend="batch",
+            convergence=all_outputs_equal(1), check_interval=1, confirm_checks=1,
+        )
+        assert agent.converged and batch.converged
+        agent_times.append(agent.convergence_interaction)
+        batch_times.append(batch.convergence_interaction)
+    statistic = _ks_statistic(agent_times, batch_times)
+    # Critical value at alpha = 0.01 for 40-vs-40 samples is ~0.364.
+    assert statistic < 0.364, (statistic, agent_times, batch_times)
+
+
+def test_batch_terminal_detection_on_junta():
+    # The junta process stabilises (everyone inactive on a common level); the
+    # batch backend must detect the fixed point and stop early.
+    result = simulate(JuntaProtocol(), 64, seed=4, backend="batch")
+    assert result.stopped_reason == "terminal"
+    assert all(not active for (_level, active, _junta) in result.output_counts)
+    assert result.extra["transition_calls"] < result.interactions
+
+
+def test_batch_transition_call_reduction_on_epidemic():
+    n = 4096
+    agent = simulate(OneWayEpidemic(), n, seed=5, convergence=all_outputs_equal(1), backend="agent")
+    batch = simulate(OneWayEpidemic(), n, seed=5, convergence=all_outputs_equal(1), backend="batch")
+    assert agent.extra["transition_calls"] == agent.interactions
+    # The epidemic delta is deterministic, so the batch backend memoises the
+    # single active pair type: one Python-level transition call in total.
+    assert batch.extra["transition_calls"] == 1
+    assert agent.extra["transition_calls"] / batch.extra["transition_calls"] >= 50
+
+
+def test_lifted_adapter_runs_protocols_without_delta_key():
+    protocol = JuntaPhaseClockProtocol()
+    assert not protocol.supports_key_transitions()
+    result = simulate(protocol, 16, seed=3, backend="batch", max_interactions=2000)
+    assert result.interactions == 2000
+    assert sum(result.output_counts.values()) == 16
+
+
+def test_lifted_adapter_matches_direct_transitions():
+    protocol = ParityCoinProtocol()
+    lifted = LiftedKeyTransitions(protocol)
+    state_a = protocol.initial_state(0)
+    state_b = protocol.initial_state(1)
+    key_a = lifted.register(state_a)
+    key_b = lifted.register(state_b)
+    rng = make_rng(0)
+    lifted_keys = lifted.delta_key(key_a, key_b, rng)
+    native_keys = protocol.delta_key(key_a, key_b, rng)
+    protocol.transition(state_a, state_b, rng)
+    direct_keys = (protocol.state_key(state_a), protocol.state_key(state_b))
+    assert lifted_keys == native_keys == direct_keys
+    assert lifted.output_key(lifted_keys[0]) == protocol.output_key(lifted_keys[0])
+
+
+def test_batch_rejects_custom_schedulers_and_stepping():
+    with pytest.raises(ConfigurationError):
+        Simulator(OneWayEpidemic(), 8, scheduler=RoundRobinScheduler(), backend="batch")
+    simulator = Simulator(OneWayEpidemic(), 8, backend="batch")
+    with pytest.raises(SimulationError):
+        simulator.step()
+    with pytest.raises(SimulationError):
+        simulator.states
+
+
+def test_auto_backend_selection():
+    assert Simulator(OneWayEpidemic(), 8, backend="auto").backend_name == "batch"
+    # No native key-level API: auto falls back to the per-agent loop.
+    assert Simulator(JuntaPhaseClockProtocol(), 8, backend="auto").backend_name == "agent"
+    # Custom scheduler forces the per-agent loop.
+    assert (
+        Simulator(
+            OneWayEpidemic(), 8, scheduler=RoundRobinScheduler(), backend="auto"
+        ).backend_name
+        == "agent"
+    )
+
+
+def test_agent_only_hooks_are_rejected_by_batch_and_demote_auto():
+    from repro.engine import FailureInjectionHook
+
+    hook = FailureInjectionHook(10, lambda simulator: None)
+    # Silent no-op would report falsely clean stability results; reject.
+    with pytest.raises(ConfigurationError):
+        Simulator(OneWayEpidemic(), 8, hooks=[hook], backend="batch")
+    simulator = Simulator(OneWayEpidemic(), 8, hooks=[hook], backend="auto")
+    assert simulator.backend_name == "agent"
+
+
+def test_batch_initial_key_counts_match_per_agent_construction():
+    n = 33
+    for protocol in (
+        OneWayEpidemic(source_count=3, source_value=9),
+        MaximumBroadcast([7, 3, 3]),
+        JuntaProtocol(),
+        ClassicalLoadBalancing([5, 5]),
+        PowersOfTwoLoadBalancing(kappa=4, loaded_agents=2),
+        ParityCoinProtocol(),
+    ):
+        explicit = Counter(
+            protocol.state_key(protocol.initial_state(i)) for i in range(n)
+        )
+        assert protocol.initial_key_counts(n) == explicit
+
+
+def test_delta_key_matches_transition_on_random_pairs():
+    # Drive an agent-backend simulation and check, at every step, that the
+    # key-level transition agrees with the mutating one.
+    for protocol in (
+        OneWayEpidemic(),
+        JuntaProtocol(),
+        ClassicalLoadBalancing([16]),
+        PowersOfTwoLoadBalancing(kappa=3),
+        ParityCoinProtocol(),
+    ):
+        simulator = Simulator(protocol, 12, seed=8, backend="agent")
+        rng = make_rng(99)
+        for _ in range(300):
+            initiator, responder = simulator.scheduler.next_pair(
+                12, simulator._scheduler_rng, simulator.interactions
+            )
+            state_a = simulator.states[initiator]
+            state_b = simulator.states[responder]
+            keys_before = (protocol.state_key(state_a), protocol.state_key(state_b))
+            expected = protocol.delta_key(*keys_before, rng)
+            protocol.transition(state_a, state_b, rng)
+            observed = (protocol.state_key(state_a), protocol.state_key(state_b))
+            assert observed == expected, (protocol.name, keys_before)
+
+
+def test_can_interaction_change_is_exact_for_key_protocols():
+    # A False answer from can_interaction_change must guarantee that the
+    # interaction preserves the configuration multiset; exhaustively check
+    # all key pairs observed during a run.
+    rng = make_rng(5)
+    for protocol, n in (
+        (OneWayEpidemic(), 16),
+        (JuntaProtocol(), 16),
+        (ClassicalLoadBalancing([16]), 16),
+        (PowersOfTwoLoadBalancing(kappa=3), 16),
+    ):
+        simulator = Simulator(protocol, n, seed=6, backend="agent")
+        simulator.run(max_interactions=32 * n)
+        keys = set(simulator.state_space._seen)
+        for key_a in keys:
+            for key_b in keys:
+                if not protocol.can_interaction_change(key_a, key_b):
+                    new_a, new_b = protocol.delta_key(key_a, key_b, rng)
+                    assert Counter([new_a, new_b]) == Counter([key_a, key_b]), (
+                        protocol.name,
+                        key_a,
+                        key_b,
+                    )

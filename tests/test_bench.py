@@ -1,0 +1,51 @@
+"""Smoke tests for the repro-bench harness."""
+
+import json
+
+from repro.bench import run_benchmark
+from repro.bench.cli import main
+from repro.bench.runner import BenchCase, run_case, write_report
+from repro.engine.convergence import all_outputs_equal
+from repro.primitives.epidemic import OneWayEpidemic
+
+
+def _tiny_case(backend):
+    return BenchCase(
+        protocol_name="one-way-epidemic",
+        make_protocol=lambda n: OneWayEpidemic(),
+        make_convergence=lambda n: all_outputs_equal(1),
+        backend=backend,
+        n=64,
+    )
+
+
+def test_run_case_produces_entry():
+    entry = run_case(_tiny_case("batch"), base_seed=1)
+    assert entry.backend == "batch"
+    assert entry.n == 64
+    assert entry.converged
+    assert entry.transition_calls <= entry.interactions
+
+
+def test_run_benchmark_pairs_backends_into_comparisons(tmp_path):
+    report = run_benchmark(cases=[_tiny_case("agent"), _tiny_case("batch")])
+    assert len(report["entries"]) == 2
+    assert len(report["comparisons"]) == 1
+    comparison = report["comparisons"][0]
+    assert comparison["transition_call_reduction"] >= 1
+    # No headline-size case in this grid.
+    assert report["headline"] is None
+    path = tmp_path / "bench.json"
+    write_report(report, str(path))
+    assert json.loads(path.read_text())["benchmark"] == "batch_backend"
+
+
+def test_cli_smoke_writes_report(tmp_path, capsys):
+    output = tmp_path / "BENCH_batch_backend.json"
+    exit_code = main(["--smoke", "--quiet", "--output", str(output)])
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["smoke"] is True
+    assert report["entries"]
+    captured = capsys.readouterr()
+    assert "wrote" in captured.out

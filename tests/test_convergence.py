@@ -1,0 +1,85 @@
+"""Unit tests for convergence predicates (sequence and histogram forms)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.engine.convergence import (
+    ConvergenceTracker,
+    all_outputs_equal,
+    all_outputs_satisfy,
+    fraction_outputs_satisfy,
+    output_items,
+    outputs_in,
+    total_outputs,
+)
+
+
+def test_all_outputs_equal_on_sequences_and_histograms():
+    predicate = all_outputs_equal()
+    assert predicate([3, 3, 3])
+    assert not predicate([3, 3, 4])
+    assert not predicate([])
+    assert predicate(Counter({3: 10}))
+    assert not predicate(Counter({3: 9, 4: 1}))
+    assert not predicate(Counter())
+    # Zero-count entries (Counters keep them after subtraction) are ignored.
+    assert predicate(Counter({3: 10, 4: 0}))
+
+
+def test_all_outputs_equal_with_target():
+    predicate = all_outputs_equal(1)
+    assert predicate([1, 1])
+    assert not predicate([2, 2])
+    assert predicate(Counter({1: 5}))
+    assert not predicate(Counter({2: 5}))
+
+
+def test_all_outputs_satisfy_both_forms():
+    predicate = all_outputs_satisfy(lambda value: value >= 0)
+    assert predicate([0, 1, 2])
+    assert not predicate([0, -1])
+    assert predicate(Counter({0: 3, 5: 2}))
+    assert not predicate(Counter({0: 3, -2: 1}))
+    assert not predicate([])
+
+
+def test_fraction_outputs_satisfy_counts_multiplicities():
+    predicate = fraction_outputs_satisfy(lambda value: value == 1, 0.75)
+    assert predicate([1, 1, 1, 0])
+    assert not predicate([1, 1, 0, 0])
+    assert predicate(Counter({1: 75, 0: 25}))
+    assert not predicate(Counter({1: 74, 0: 26}))
+    with pytest.raises(ValueError):
+        fraction_outputs_satisfy(lambda value: True, 0.0)
+
+
+def test_outputs_in_both_forms():
+    predicate = outputs_in({4, 5})
+    assert predicate([4, 5, 4])
+    assert not predicate([4, 6])
+    assert predicate(Counter({4: 2, 5: 8}))
+    assert not predicate(Counter({4: 2, 6: 1}))
+
+
+def test_output_items_and_total_outputs():
+    assert list(output_items([1, 1, 2])) == [(1, 1), (1, 1), (2, 1)]
+    assert sorted(output_items(Counter({1: 2, 2: 1, 3: 0}))) == [(1, 2), (2, 1)]
+    assert total_outputs([1, 2, 3]) == 3
+    assert total_outputs(Counter({1: 2, 2: 1, 3: 0})) == 3
+
+
+def test_convergence_tracker_streaks():
+    tracker = ConvergenceTracker()
+    tracker.record(1, True)
+    tracker.record(11, True)
+    assert tracker.current_streak == 2
+    assert tracker.convergence_interaction == 1
+    tracker.record(21, False)
+    assert not tracker.currently_satisfied
+    assert tracker.current_streak == 0
+    tracker.record(31, True)
+    assert tracker.convergence_interaction == 31
+    assert tracker.ever_satisfied
+    assert tracker.checks == 4
+    assert tracker.satisfied_checks == 3

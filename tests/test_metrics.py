@@ -1,0 +1,66 @@
+"""Unit tests for metrics trackers and recorders."""
+
+from collections import Counter
+
+from repro.engine import (
+    AggregateInteractionCounter,
+    InteractionCounter,
+    OutputTraceRecorder,
+    StateHistogramRecorder,
+    StateSpaceTracker,
+    all_outputs_equal,
+    simulate,
+)
+from repro.primitives.epidemic import OneWayEpidemic
+
+
+def test_state_space_tracker_counts_and_field_ranges():
+    tracker = StateSpaceTracker()
+    tracker.observe((0, True))
+    tracker.observe((0, True))  # duplicate ignored
+    tracker.observe((1, True))
+    tracker.observe((1, False))
+    assert tracker.distinct_states == 3
+    assert tracker.field_range_sizes == (2, 2)
+    assert tracker.field_range_product == 4
+    assert tracker.as_dict()["distinct_states"] == 3
+
+
+def test_interaction_counter_participation():
+    counter = InteractionCounter(3)
+    counter.record(0, 1)
+    counter.record(0, 2)
+    assert counter.total == 2
+    assert counter.per_agent == [2, 1, 1]
+    assert counter.initiated == [2, 0, 0]
+    assert counter.min_participation == 1
+    assert counter.agents_never_interacted == 0
+
+
+def test_aggregate_interaction_counter_interface():
+    counter = AggregateInteractionCounter(100)
+    counter.total = 12345
+    assert counter.min_participation == 0
+    assert counter.agents_never_interacted == 0
+    assert counter.as_dict() == {"total": 12345, "per_agent_tracked": False}
+
+
+def test_recorders_work_on_both_backends():
+    for backend in ("agent", "batch"):
+        trace = OutputTraceRecorder()
+        histogram = StateHistogramRecorder()
+        result = simulate(
+            OneWayEpidemic(),
+            32,
+            seed=4,
+            backend=backend,
+            convergence=all_outputs_equal(1),
+            hooks=[trace, histogram],
+        )
+        assert result.converged
+        # Start + checkpoints + end were all snapshotted from the histogram.
+        assert len(trace.snapshots) >= 2
+        assert trace.snapshots[0].output_histogram == Counter({0: 31, 1: 1})
+        assert trace.snapshots[-1].output_histogram == Counter({1: 32})
+        assert trace.agreement_trajectory()[-1][1] == 1.0
+        assert histogram.final_histogram == Counter({1: 32})

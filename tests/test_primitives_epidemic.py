@@ -1,0 +1,81 @@
+"""Unit tests for the epidemic/broadcast primitives."""
+
+import pytest
+
+from repro.engine import all_outputs_equal, simulate
+from repro.engine.errors import ConfigurationError
+from repro.primitives.epidemic import (
+    EpidemicState,
+    MaximumBroadcast,
+    OneWayEpidemic,
+    epidemic_update,
+)
+
+
+def test_epidemic_update_takes_maximum():
+    assert epidemic_update(0, 5) == 5
+    assert epidemic_update(5, 0) == 5
+    assert epidemic_update(3, 3) == 3
+
+
+def test_one_way_epidemic_validation_and_initialisation():
+    with pytest.raises(ConfigurationError):
+        OneWayEpidemic(source_count=0)
+    with pytest.raises(ConfigurationError):
+        OneWayEpidemic(source_value=0)
+    protocol = OneWayEpidemic(source_count=2, source_value=7)
+    values = [protocol.initial_state(i).value for i in range(4)]
+    assert values == [7, 7, 0, 0]
+
+
+def test_one_way_epidemic_spreads_to_everyone():
+    result = simulate(OneWayEpidemic(), 48, seed=1, convergence=all_outputs_equal(1))
+    assert result.converged
+    assert set(result.outputs) == {1}
+
+
+def test_one_way_epidemic_convergence_time_is_near_n_log_n():
+    # Lemma 3: O(n log n) interactions w.h.p.; check a generous window.
+    import math
+
+    n = 128
+    result = simulate(
+        OneWayEpidemic(), n, seed=3, convergence=all_outputs_equal(1), check_interval=1,
+        confirm_checks=1,
+    )
+    assert result.converged
+    assert result.convergence_interaction < 12 * n * math.log(n)
+
+
+def test_maximum_broadcast_converges_to_global_maximum():
+    protocol = MaximumBroadcast([4, 9, 2, 9])
+    assert protocol.target == 9
+    result = simulate(protocol, 16, seed=2, convergence=all_outputs_equal(9))
+    assert result.converged
+    assert result.consensus_output == 9
+
+
+def test_maximum_broadcast_rejects_empty_input():
+    with pytest.raises(ConfigurationError):
+        MaximumBroadcast([])
+
+
+def test_epidemic_transition_only_updates_initiator():
+    protocol = OneWayEpidemic()
+    initiator = EpidemicState(value=0)
+    responder = EpidemicState(value=4)
+    protocol.transition(initiator, responder, None)
+    assert initiator.value == 4
+    assert responder.value == 4 and responder.key() == 4
+
+    initiator = EpidemicState(value=4)
+    responder = EpidemicState(value=0)
+    protocol.transition(initiator, responder, None)
+    assert (initiator.value, responder.value) == (4, 0)
+
+
+def test_epidemic_can_interaction_change_is_one_directional():
+    protocol = OneWayEpidemic()
+    assert protocol.can_interaction_change(0, 1)
+    assert not protocol.can_interaction_change(1, 0)
+    assert not protocol.can_interaction_change(1, 1)

@@ -1,0 +1,92 @@
+"""Unit tests for the junta process (Section 2, Lemma 4)."""
+
+import math
+
+from repro.engine import Simulator, simulate
+from repro.primitives.junta import (
+    JuntaProtocol,
+    JuntaState,
+    junta_summary,
+    junta_update,
+    junta_update_pair,
+)
+
+
+def test_two_active_agents_on_same_level_both_climb():
+    u, v = JuntaState(), JuntaState()
+    saw_u, saw_v = junta_update_pair(u, v)
+    assert (u.level, v.level) == (1, 1)
+    assert u.active and v.active
+    assert (saw_u, saw_v) == (False, False)
+    assert u.reached_level == v.reached_level == 1
+
+
+def test_active_agent_meeting_different_level_becomes_inactive():
+    u = JuntaState(level=0)
+    v = JuntaState(level=2, active=False)
+    junta_update_pair(u, v)
+    assert not u.active
+    assert u.level == 2  # adopted the higher level
+    assert not u.junta  # cleared on seeing a higher level
+
+
+def test_inactive_agent_adopts_higher_level_and_clears_junta():
+    u = JuntaState(level=1, active=False, junta=True)
+    v = JuntaState(level=3, active=False, junta=False)
+    saw_u, saw_v = junta_update_pair(u, v)
+    assert saw_u and not saw_v
+    assert u.level == 3
+    assert not u.junta
+    assert v.level == 3 and not v.junta
+
+
+def test_one_way_junta_update_matches_documented_events():
+    u = JuntaState(level=1, active=False)
+    v = JuntaState(level=4)
+    assert junta_update(u, v) is True
+    assert u.level == 4 and not u.junta
+
+
+def test_junta_process_stabilises_with_lemma4_level_bound(caplog=None):
+    n = 256
+    result = simulate(JuntaProtocol(), n, seed=5, backend="batch")
+    assert result.stopped_reason == "terminal"
+    levels = {level for (level, _active, _junta) in result.output_counts}
+    assert len(levels) == 1  # everyone agrees on the maximal level
+    max_level = levels.pop()
+    # Lemma 4: max level in [log log n - 4, log log n + 8].
+    loglog = math.log2(math.log2(n))
+    assert loglog - 4 <= max_level <= loglog + 8
+    assert all(not active for (_level, active, _junta) in result.output_counts)
+
+
+def test_junta_summary_reports_lemma4_quantities():
+    states = [
+        JuntaState(level=2, active=False, junta=True, reached_level=2),
+        JuntaState(level=2, active=False, junta=False, reached_level=1),
+        JuntaState(level=1, active=False, junta=False, reached_level=1),
+    ]
+    summary = junta_summary(states)
+    assert summary["max_level"] == 2
+    assert summary["agents_on_max_level"] == 2
+    assert summary["agents_reached_max_level"] == 1
+    assert summary["junta_size"] == 1
+    assert summary["active_agents"] == 0
+    assert junta_summary([])["junta_size"] == 0
+
+
+def test_can_interaction_change_accepts_full_state_keys():
+    # Regression: the predicate used to unpack a 3-tuple from the 4-tuple
+    # state key and crashed on any real key.
+    protocol = JuntaProtocol()
+    inactive_same = (2, False, False, 1)
+    assert not protocol.can_interaction_change(inactive_same, inactive_same)
+    assert protocol.can_interaction_change((2, True, True, 2), inactive_same)
+    assert protocol.can_interaction_change((1, False, False, 1), (2, False, False, 2))
+    assert protocol.can_interaction_change((2, False, False, 1), (1, False, False, 1))
+
+
+def test_junta_stability_detected_by_simulator():
+    simulator = Simulator(JuntaProtocol(), 32, seed=2, backend="agent")
+    simulator.run()  # default budget is ample for n = 32
+    assert simulator.is_stable_configuration()

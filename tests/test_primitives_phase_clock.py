@@ -1,0 +1,72 @@
+"""Unit tests for the junta-driven phase clock (Section 2, Lemma 5)."""
+
+import pytest
+
+from repro.engine import simulate
+from repro.engine.errors import ConfigurationError
+from repro.primitives.phase_clock import (
+    DEFAULT_CLOCK_MODULUS,
+    JuntaPhaseClockProtocol,
+    PhaseClockState,
+    phase_clock_update,
+)
+
+
+def test_phase_clock_adopts_larger_hour_within_half_window():
+    state = PhaseClockState(clock=2)
+    ticked = phase_clock_update(state, partner_clock=5, is_junta=False, modulus=16)
+    assert not ticked
+    assert state.clock == 5
+    assert state.phase == 0
+
+
+def test_phase_clock_ignores_hours_more_than_half_ahead():
+    state = PhaseClockState(clock=2)
+    # (partner - clock) % 16 = 13 > 8: treated as "behind", no adoption.
+    phase_clock_update(state, partner_clock=15, is_junta=False, modulus=16)
+    assert state.clock == 2
+
+
+def test_junta_member_advances_on_equal_hours_and_ticks_at_wraparound():
+    state = PhaseClockState(clock=15)
+    ticked = phase_clock_update(state, partner_clock=15, is_junta=True, modulus=16)
+    assert ticked
+    assert state.clock == 0
+    assert state.phase == 1
+    assert state.first_tick
+
+
+def test_adoption_across_boundary_counts_as_tick():
+    state = PhaseClockState(clock=14)
+    ticked = phase_clock_update(state, partner_clock=1, is_junta=False, modulus=16)
+    assert ticked
+    assert state.clock == 1
+    assert state.phase == 1
+
+
+def test_non_junta_agent_never_self_advances():
+    state = PhaseClockState(clock=7)
+    ticked = phase_clock_update(state, partner_clock=7, is_junta=False, modulus=16)
+    assert not ticked
+    assert state.clock == 7
+
+
+def test_modulus_validation():
+    with pytest.raises(ConfigurationError):
+        phase_clock_update(PhaseClockState(), 0, False, modulus=3)
+    with pytest.raises(ConfigurationError):
+        JuntaPhaseClockProtocol(modulus=2)
+
+
+def test_phase_clock_protocol_phases_advance():
+    protocol = JuntaPhaseClockProtocol(modulus=DEFAULT_CLOCK_MODULUS)
+    result = simulate(protocol, 24, seed=6, max_interactions=40_000)
+    phases = list(result.output_counts)
+    assert max(phases) >= 1  # at least one full clock revolution happened
+    assert sum(result.output_counts.values()) == 24
+
+
+def test_phase_clock_reset():
+    state = PhaseClockState(clock=5, phase=2, first_tick=True)
+    state.reset()
+    assert (state.clock, state.phase, state.first_tick) == (0, 0, False)

@@ -9,10 +9,11 @@ from setuptools import find_namespace_packages, setup
 
 setup(
     name="repro-berenbrink-kr19",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of Berenbrink, Kaaser, Radzik (PODC 2019) population "
-        "protocols with a batched configuration-vector simulation backend"
+        "protocols with a batched configuration-vector simulation backend "
+        "and a parallel experiment-sweep subsystem"
     ),
     package_dir={"": "src"},
     packages=find_namespace_packages(where="src"),
@@ -21,6 +22,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-bench=repro.bench.cli:main",
+            "repro-sweep=repro.experiments.cli:main",
         ]
     },
 )

@@ -24,14 +24,23 @@ from __future__ import annotations
 
 import math
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Tuple
 
 from ..engine.convergence import OutputPredicate, outputs_in
 from ..engine.protocol import Protocol
 from ..primitives.junta import JuntaState, junta_update_pair
 from ..primitives.leader_election import LeaderElectionState, leader_election_update
 from ..primitives.phase_clock import PhaseClockState, phase_clock_update
+from .keys import (
+    clock_from_key,
+    clock_key,
+    election_from_key,
+    junta_from_key,
+    residue_compatible,
+    search_from_key,
+)
 from .params import ApproximateParameters
 from .search import SearchState, search_update
 
@@ -150,10 +159,40 @@ class ApproximateProtocol(Protocol[ApproximateAgent]):
         # accounting rather than the length of the run.
         return (
             state.junta.key(),
-            (state.clock.clock, state.clock.phase % 40, state.clock.first_tick),
+            clock_key(state.clock),
             state.election.key(),
             state.search.key(),
         )
+
+    # --------------------------------------------------- key-level transitions
+    def _agent_from_key(self, key: Hashable) -> ApproximateAgent:
+        junta, clock, election, search = key  # type: ignore[misc]
+        return ApproximateAgent(
+            junta=junta_from_key(junta),
+            clock=clock_from_key(clock),
+            election=election_from_key(election),
+            search=search_from_key(search),
+        )
+
+    def supports_key_transitions(self) -> bool:
+        # The decoded phase is a mod-40 residue (see repro.counting.keys);
+        # exactness requires every tag modulus to divide it.
+        return residue_compatible(5, self.params.leader_election.signal_tag_modulus)
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        u = self._agent_from_key(key_a)
+        v = self._agent_from_key(key_b)
+        self.transition(u, v, rng)
+        return self.state_key(u), self.state_key(v)
+
+    def output_key(self, key: Hashable) -> Optional[int]:
+        k, search_done = key[3]  # type: ignore[index]
+        return k if search_done else None
+
+    def initial_key_counts(self, n: int) -> Counter:
+        return Counter({self.state_key(self.initial_state(0)): n})
 
     # ----------------------------------------------------------- conveniences
     def convergence_predicate(self, n: int) -> OutputPredicate:

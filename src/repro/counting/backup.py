@@ -27,6 +27,7 @@ the aborted run) and as standalone protocols for experiment E11.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
@@ -105,6 +106,7 @@ class ApproximateBackupProtocol(Protocol[ApproximateBackupState]):
     """
 
     name = "backup-approximate"
+    deterministic_transitions = True
 
     def initial_state(self, agent_id: int) -> ApproximateBackupState:
         return ApproximateBackupState()
@@ -128,6 +130,28 @@ class ApproximateBackupProtocol(Protocol[ApproximateBackupState]):
         if k_a == k_b and k_a >= 0:
             return True
         return max(kmax_a, kmax_b, k_a, k_b) != kmax_a or max(kmax_a, kmax_b, k_a, k_b) != kmax_b
+
+    # ------------------------------------------------- key-level transitions
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        # Pure-key transcription of :func:`approximate_backup_update`.
+        k_a, kmax_a, inst_a = key_a  # type: ignore[misc]
+        k_b, kmax_b, inst_b = key_b  # type: ignore[misc]
+        if inst_a != inst_b:
+            return key_a, key_b
+        if k_a == k_b and k_a >= 0:
+            k_a += 1
+            k_b = -1
+        new_max = max(kmax_a, kmax_b, k_a, k_b)
+        return (k_a, new_max, inst_a), (k_b, new_max, inst_b)
+
+    def output_key(self, key: Hashable) -> int:
+        _k, k_max, _instance = key  # type: ignore[misc]
+        return k_max
+
+    def initial_key_counts(self, n: int) -> Counter:
+        return Counter({(0, 0, 0): n})
 
 
 # --------------------------------------------------------------------------
@@ -163,7 +187,12 @@ def exact_backup_update(u: ExactBackupState, v: ExactBackupState) -> None:
     """Apply one interaction of the exact backup protocol (Equation (4)).
 
     Two uncounted agents merge their counts (the responder becomes counted);
-    otherwise both agents adopt the maximum count seen so far.
+    otherwise every *counted* participant adopts the maximum count seen.
+    An uncounted agent's count is its actual token pile — the quantity whose
+    sum over uncounted agents is invariantly ``n`` — so only counted agents
+    (whose count is pure broadcast state) may adopt larger observed values.
+    Merge totals never exceed ``n``, so the unique surviving uncounted agent
+    holds the true maximum and the broadcast stabilises to exactly ``n``.
     """
     if u.instance != v.instance:
         return
@@ -174,8 +203,10 @@ def exact_backup_update(u: ExactBackupState, v: ExactBackupState) -> None:
         v.counted = True
     else:
         best = max(u.count, v.count)
-        u.count = best
-        v.count = best
+        if u.counted:
+            u.count = best
+        if v.counted:
+            v.count = best
 
 
 class ExactBackupProtocol(Protocol[ExactBackupState]):
@@ -186,6 +217,7 @@ class ExactBackupProtocol(Protocol[ExactBackupState]):
     """
 
     name = "backup-exact"
+    deterministic_transitions = True
 
     def initial_state(self, agent_id: int) -> ExactBackupState:
         return ExactBackupState()
@@ -208,4 +240,30 @@ class ExactBackupProtocol(Protocol[ExactBackupState]):
             return False
         if not counted_a and not counted_b:
             return True
-        return count_a != count_b
+        # Only counted agents adopt the broadcast maximum.
+        return (counted_a and count_b > count_a) or (counted_b and count_a > count_b)
+
+    # ------------------------------------------------- key-level transitions
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        # Pure-key transcription of :func:`exact_backup_update`.
+        counted_a, count_a, inst_a = key_a  # type: ignore[misc]
+        counted_b, count_b, inst_b = key_b  # type: ignore[misc]
+        if inst_a != inst_b:
+            return key_a, key_b
+        if not counted_a and not counted_b:
+            total = count_a + count_b
+            return (False, total, inst_a), (True, total, inst_b)
+        best = max(count_a, count_b)
+        return (
+            (counted_a, best if counted_a else count_a, inst_a),
+            (counted_b, best if counted_b else count_b, inst_b),
+        )
+
+    def output_key(self, key: Hashable) -> int:
+        _counted, count, _instance = key  # type: ignore[misc]
+        return count
+
+    def initial_key_counts(self, n: int) -> Counter:
+        return Counter({(False, 1, 0): n})

@@ -20,8 +20,9 @@ computation that counts is the one on the maximal junta level.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Tuple
 
 from ..engine.convergence import OutputPredicate, all_outputs_equal
 from ..engine.protocol import Protocol
@@ -35,6 +36,15 @@ from .approximation_stage import (
     ApproximationStageState,
     advance_approximation_phase,
     approximation_stage_update,
+)
+from .keys import (
+    approximation_from_key,
+    clock_from_key,
+    clock_key,
+    fast_election_from_key,
+    junta_from_key,
+    refinement_from_key,
+    residue_compatible,
 )
 from .params import CountExactParameters
 from .refinement_stage import (
@@ -170,11 +180,40 @@ class CountExactProtocol(Protocol[CountExactAgent]):
         # protocol consumes it only through tick events and small residues.
         return (
             state.junta.key(),
-            (state.clock.clock, state.clock.phase % 40, state.clock.first_tick),
+            clock_key(state.clock),
             state.election.key(),
             state.approximation.key(),
             state.refinement.key(),
         )
+
+    # --------------------------------------------------- key-level transitions
+    def _agent_from_key(self, key: Hashable) -> CountExactAgent:
+        junta, clock, election, approximation, refinement = key  # type: ignore[misc]
+        return CountExactAgent(
+            junta=junta_from_key(junta),
+            clock=clock_from_key(clock),
+            election=fast_election_from_key(election),
+            approximation=approximation_from_key(approximation),
+            refinement=refinement_from_key(refinement),
+        )
+
+    def supports_key_transitions(self) -> bool:
+        # Exactness of the mod-40 phase residue (see repro.counting.keys).
+        return residue_compatible(self.params.leader_election.tag_modulus)
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        u = self._agent_from_key(key_a)
+        v = self._agent_from_key(key_b)
+        self.transition(u, v, rng)
+        return self.state_key(u), self.state_key(v)
+
+    def output_key(self, key: Hashable) -> Optional[int]:
+        return refinement_output(refinement_from_key(key[4]), self.params)  # type: ignore[index]
+
+    def initial_key_counts(self, n: int) -> Counter:
+        return Counter({self.state_key(self.initial_state(0)): n})
 
     # ----------------------------------------------------------- conveniences
     def convergence_predicate(self, n: int) -> OutputPredicate:

@@ -34,8 +34,9 @@ experiment E9.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Tuple
 
 from ..engine.protocol import Protocol
 from ..primitives.junta import JuntaState, junta_update_pair
@@ -153,6 +154,8 @@ class SearchWithGivenLeader(Protocol[SearchAgent]):
     """
 
     name = "search-protocol"
+    # The search, clock, and junta updates never consume randomness.
+    deterministic_transitions = True
 
     def __init__(
         self,
@@ -214,3 +217,36 @@ class SearchWithGivenLeader(Protocol[SearchAgent]):
 
     def state_key(self, state: SearchAgent) -> Hashable:
         return state.key()
+
+    # --------------------------------------------------- key-level transitions
+    # Unlike the composed protocols, the standalone search keys the *raw*
+    # phase counter (the warm-up comparison ``phase >= start_phase`` is not a
+    # residue), so decoding is fully lossless.
+    @staticmethod
+    def _agent_from_key(key: Hashable) -> SearchAgent:
+        junta, clock, search, is_leader = key  # type: ignore[misc]
+        return SearchAgent(
+            junta=JuntaState(*junta),
+            clock=PhaseClockState(*clock),
+            search=SearchState(*search),
+            is_leader=is_leader,
+        )
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        u = self._agent_from_key(key_a)
+        v = self._agent_from_key(key_b)
+        self.transition(u, v, rng)
+        return self.state_key(u), self.state_key(v)
+
+    def output_key(self, key: Hashable) -> Optional[int]:
+        k, search_done = key[2]  # type: ignore[index]
+        return k if search_done else None
+
+    def initial_key_counts(self, n: int) -> Counter:
+        leader_key = self.state_key(self.initial_state(0))
+        follower_key = self.state_key(self.initial_state(1))
+        counts = Counter({leader_key: 1})
+        counts[follower_key] += n - 1
+        return counts

@@ -27,8 +27,9 @@ value, exactly as the paper allows.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Tuple
 
 from ..engine.convergence import OutputPredicate, fraction_outputs_satisfy, outputs_in
 from ..engine.protocol import Protocol
@@ -41,6 +42,16 @@ from .error_detection import (
     ErrorDetectionState,
     advance_detection_phase,
     error_detection_update,
+)
+from .keys import (
+    approximate_backup_from_key,
+    clock_from_key,
+    clock_key,
+    detection_from_key,
+    election_from_key,
+    junta_from_key,
+    residue_compatible,
+    search_from_key,
 )
 from .params import ApproximateParameters
 from .search import SearchState, search_update
@@ -246,13 +257,60 @@ class StableApproximateProtocol(Protocol[StableApproximateAgent]):
         )
         return (
             state.junta.key(),
-            (state.clock.clock, state.clock.phase % 40, state.clock.first_tick),
+            clock_key(state.clock),
             state.election.key(),
             state.search.key(),
             state.detection.key(),
             backup_key,
             state.error,
         )
+
+    # --------------------------------------------------- key-level transitions
+    def _agent_from_key(self, key: Hashable) -> StableApproximateAgent:
+        junta, clock, election, search, detection, backup, error = key  # type: ignore[misc]
+        return StableApproximateAgent(
+            junta=junta_from_key(junta),
+            clock=clock_from_key(clock),
+            election=election_from_key(election),
+            search=search_from_key(search),
+            detection=detection_from_key(detection),
+            backup=approximate_backup_from_key(backup, relaxed=self.relaxed_output),
+            error=error,
+        )
+
+    def supports_key_transitions(self) -> bool:
+        # The mod-40 phase residue must be exact (repro.counting.keys).  The
+        # relaxed-output key additionally drops the backup's k_max while the
+        # output function still reads it for every token-less agent, so the
+        # key is lossy with respect to the *output* — native key transitions
+        # would make nearly the whole population output the reconstructed
+        # k_max = 0 after an error, far beyond the up-to-log(n) wrong agents
+        # Theorem 1(3) allows.  Relaxed mode therefore declines the native
+        # path (the batch backend falls back to the lifted adapter).
+        if self.relaxed_output:
+            return False
+        return residue_compatible(5, self.params.leader_election.signal_tag_modulus)
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        u = self._agent_from_key(key_a)
+        v = self._agent_from_key(key_b)
+        self.transition(u, v, rng)
+        return self.state_key(u), self.state_key(v)
+
+    def output_key(self, key: Hashable) -> Optional[int]:
+        detection_key, backup_key, error = key[4], key[5], key[6]  # type: ignore[index]
+        detection = detection_from_key(detection_key)
+        if not error and detection.finished:
+            return detection.k
+        backup = approximate_backup_from_key(backup_key, relaxed=self.relaxed_output)
+        if self.relaxed_output:
+            return backup.k if backup.k >= 0 else backup.k_max
+        return backup.k_max
+
+    def initial_key_counts(self, n: int) -> Counter:
+        return Counter({self.state_key(self.initial_state(0)): n})
 
     # ----------------------------------------------------------- conveniences
     def convergence_predicate(self, n: int) -> OutputPredicate:

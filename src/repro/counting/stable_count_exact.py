@@ -22,8 +22,9 @@ stage's exact count.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Tuple
 
 from ..engine.convergence import OutputPredicate, all_outputs_equal
 from ..engine.protocol import Protocol
@@ -39,6 +40,17 @@ from .approximation_stage import (
     approximation_stage_update,
 )
 from .backup import ExactBackupState, exact_backup_update
+from .keys import (
+    approximation_from_key,
+    clock_from_key,
+    clock_key,
+    exact_backup_from_key,
+    fast_election_from_key,
+    junta_from_key,
+    phase_distance,
+    refinement_from_key,
+    residue_compatible,
+)
 from .params import CountExactParameters
 from .refinement_stage import (
     RefinementStageState,
@@ -172,12 +184,14 @@ class StableCountExactProtocol(Protocol[StableCountExactAgent]):
             v.raise_error()
 
         # Error source 2: phase-clock drift after the election has concluded.
+        # Read through the circular mod-40 metric so that the check agrees
+        # with the reduced state keys (see repro.counting.keys.phase_distance).
         if (
             not u_saw_higher
             and not v_saw_higher
             and u.election.leader_done
             and v.election.leader_done
-            and abs(u.clock.phase - v.clock.phase) >= 2
+            and phase_distance(u.clock.phase, v.clock.phase) >= 2
         ):
             u.raise_error()
             v.raise_error()
@@ -241,13 +255,49 @@ class StableCountExactProtocol(Protocol[StableCountExactAgent]):
     def state_key(self, state: StableCountExactAgent) -> Hashable:
         return (
             state.junta.key(),
-            (state.clock.clock, state.clock.phase % 40, state.clock.first_tick),
+            clock_key(state.clock),
             state.election.key(),
             state.approximation.key(),
             state.refinement.key(),
             state.backup.key(),
             state.error,
         )
+
+    # --------------------------------------------------- key-level transitions
+    def _agent_from_key(self, key: Hashable) -> StableCountExactAgent:
+        junta, clock, election, approximation, refinement, backup, error = key  # type: ignore[misc]
+        return StableCountExactAgent(
+            junta=junta_from_key(junta),
+            clock=clock_from_key(clock),
+            election=fast_election_from_key(election),
+            approximation=approximation_from_key(approximation),
+            refinement=refinement_from_key(refinement),
+            backup=exact_backup_from_key(backup),
+            error=error,
+        )
+
+    def supports_key_transitions(self) -> bool:
+        # Exactness of the mod-40 phase residue (see repro.counting.keys).
+        return residue_compatible(self.params.leader_election.tag_modulus)
+
+    def delta_key(
+        self, key_a: Hashable, key_b: Hashable, rng: random.Random
+    ) -> Tuple[Hashable, Hashable]:
+        u = self._agent_from_key(key_a)
+        v = self._agent_from_key(key_b)
+        self.transition(u, v, rng)
+        return self.state_key(u), self.state_key(v)
+
+    def output_key(self, key: Hashable) -> Optional[int]:
+        refinement_key, backup_key, error = key[4], key[5], key[6]  # type: ignore[index]
+        if not error:
+            estimate = refinement_output(refinement_from_key(refinement_key), self.params)
+            if estimate is not None:
+                return estimate
+        return exact_backup_from_key(backup_key).count
+
+    def initial_key_counts(self, n: int) -> Counter:
+        return Counter({self.state_key(self.initial_state(0)): n})
 
     # ----------------------------------------------------------- conveniences
     def convergence_predicate(self, n: int) -> OutputPredicate:

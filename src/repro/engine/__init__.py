@@ -11,6 +11,7 @@ these primitives.
 
 from .backends import (
     AgentBackend,
+    AliasTable,
     Backend,
     BatchBackend,
     LiftedKeyTransitions,
@@ -52,11 +53,13 @@ from .simulator import (
     SimulationResult,
     Simulator,
     default_interaction_budget,
+    json_value,
     simulate,
 )
 
 __all__ = [
     "AgentBackend",
+    "AliasTable",
     "Backend",
     "BatchBackend",
     "LiftedKeyTransitions",
@@ -96,5 +99,6 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "default_interaction_budget",
+    "json_value",
     "simulate",
 ]

@@ -50,6 +50,7 @@ __all__ = [
     "AgentBackend",
     "BatchBackend",
     "LiftedKeyTransitions",
+    "AliasTable",
     "BACKEND_NAMES",
 ]
 
@@ -95,6 +96,66 @@ class LiftedKeyTransitions:
     def output_key(self, key: Hashable) -> Any:
         """Output of an agent in the state represented by ``key``."""
         return self.protocol.output(self._representatives[key])
+
+    def knows(self, key: Hashable) -> bool:
+        """Whether a representative state exists for ``key``."""
+        return key in self._representatives
+
+
+class AliasTable:
+    """Walker/Vose alias table: O(1) draws from a fixed discrete distribution.
+
+    Built once from a ``{value: weight}`` mapping in O(K); each draw costs two
+    uniform variates regardless of K.  The table is immutable — callers that
+    mutate their weights drop the table and rebuild it lazily on the next
+    draw, which amortises well whenever several draws happen between weight
+    changes (no-op events under a conservative ``can_interaction_change``,
+    memoised deterministic transitions landing back in the same keys, …).
+    """
+
+    __slots__ = ("values", "_prob", "_alias")
+
+    def __init__(self, weights: Dict[Any, int]) -> None:
+        values = list(weights.keys())
+        self.values = values
+        size = len(values)
+        if size == 0:
+            raise ConfigurationError("AliasTable requires at least one weighted value")
+        total = 0
+        for weight in weights.values():
+            if weight < 0:
+                raise ConfigurationError("AliasTable weights must be non-negative")
+            total += weight
+        if total <= 0:
+            raise ConfigurationError("AliasTable requires positive total weight")
+        scale = size / total
+        scaled = [weights[value] * scale for value in values]
+        prob = [0.0] * size
+        alias = [0] * size
+        small: List[int] = []
+        large: List[int] = []
+        for index, mass in enumerate(scaled):
+            (small if mass < 1.0 else large).append(index)
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            (small if scaled[l] < 1.0 else large).append(l)
+        for index in large:
+            prob[index] = 1.0
+        for index in small:  # numerical leftovers
+            prob[index] = 1.0
+        self._prob = prob
+        self._alias = alias
+
+    def sample(self, rng: random.Random) -> Any:
+        """Draw one value with probability proportional to its weight."""
+        index = rng.randrange(len(self.values))
+        if rng.random() < self._prob[index]:
+            return self.values[index]
+        return self.values[self._alias[index]]
 
 
 class Backend(abc.ABC):
@@ -266,6 +327,21 @@ class BatchBackend(Backend):
 
     Truncating a geometric skip at an interaction budget or checkpoint
     boundary and re-sampling later is exact by memorylessness.
+
+    Two sampling regimes are used, chosen at construction:
+
+    * **Pruning** — the protocol overrides ``can_interaction_change``, so the
+      active-pair weight table above is worth maintaining: skips are long and
+      the active pair type is drawn from an :class:`AliasTable` over the
+      table (rebuilt lazily whenever a weight changed; a linear scan is kept
+      for small tables where the rebuild would dominate).
+    * **Dense** — the protocol keeps the conservative default, every ordered
+      pair is active (``W == T``, no skipping is ever possible), and the
+      O(K^2) pair table would be pure overhead.  The two participants' keys
+      are instead drawn directly from an :class:`AliasTable` over the key
+      histogram, which realises the uniform ordered-pair law exactly.  This
+      is the regime of the composed counting protocols, whose no-op analysis
+      is out of reach of a per-pair predicate.
     """
 
     name = "batch"
@@ -309,11 +385,31 @@ class BatchBackend(Backend):
         self._delta_cache: Dict[Tuple[Hashable, Hashable], Tuple[Hashable, Hashable]] = {}
         self._can_change_cache: Dict[Tuple[Hashable, Hashable], bool] = {}
         self._output_cache: Dict[Hashable, Any] = {}
+        # Two sampling regimes (see class docstring).  A protocol that keeps
+        # the conservative default ``can_interaction_change`` marks *every*
+        # ordered pair active, so the pair-weight table would cost O(K^2)
+        # upkeep for zero skipping; such protocols use the dense regime,
+        # which samples the two participants straight from the key histogram.
+        self._prunes = (
+            type(protocol).can_interaction_change is not Protocol.can_interaction_change
+        )
+        # Alias tables are rebuilt lazily: any weight/count change drops them.
+        self._pair_alias: Optional[AliasTable] = None
+        self._count_alias: Optional[AliasTable] = None
+        # Reuse accounting for the adaptive build-vs-scan policy.
+        self._alias_builds = 0
+        self._alias_draws = 0
+        self._alias_scans = 0
         # Active ordered pair types and their integer weights; rebuilt lazily
         # in full once, then maintained incrementally per event.
         self._pair_weights: Dict[Tuple[Hashable, Hashable], int] = {}
         self._active_weight = 0
-        self._rebuild_pair_weights()
+        if self._prunes:
+            self._rebuild_pair_weights()
+        else:
+            # An initial configuration may already be the provable fixed
+            # point (single key, deterministic no-op self-interaction).
+            self._check_dense_fixed_point()
 
     # ------------------------------------------------------------ pair table
     def _can_change(self, key_a: Hashable, key_b: Hashable) -> bool:
@@ -359,6 +455,7 @@ class BatchBackend(Backend):
                     total += weight
         self._pair_weights = pair_weights
         self._active_weight = total
+        self._pair_alias = None
 
     def _update_pair_weights(self, changed: Tuple[Hashable, ...]) -> None:
         """Refresh pair weights after an event changed the ``changed`` keys.
@@ -389,6 +486,7 @@ class BatchBackend(Backend):
                         pair_weights[pair] = weight
                         total += weight
         self._active_weight = total
+        self._pair_alias = None
 
     # -------------------------------------------------------------- stepping
     def advance_to(self, target: int) -> None:
@@ -396,8 +494,9 @@ class BatchBackend(Backend):
         log = math.log
         log1p = math.log1p
         pair_rng = self._pair_rng
+        prunes = self._prunes
         while self.interactions < target and not self.terminal:
-            weight = self._active_weight
+            weight = self._active_weight if prunes else ordered_pairs
             if weight <= 0:
                 self.terminal = True
                 break
@@ -421,13 +520,12 @@ class BatchBackend(Backend):
             self._apply_event()
         self.counter.total = self.interactions
 
-    def _apply_event(self) -> None:
-        """Sample one active pair type and apply its transition.
+    #: Below this many active pair types a linear scan (no rebuild cost) beats
+    #: the lazily rebuilt alias table.
+    _ALIAS_THRESHOLD = 32
 
-        "Active" means :meth:`can_interaction_change` could not rule out a
-        configuration change; with a conservative (always-``True``) predicate
-        the applied transition may still turn out to be a no-op.
-        """
+    def _scan_pair_type(self) -> Tuple[Hashable, Hashable]:
+        """Linear inverse-CDF scan over the active pair weights."""
         threshold = self._pair_rng.random() * self._active_weight
         key_a: Hashable = None
         key_b: Hashable = None
@@ -436,6 +534,74 @@ class BatchBackend(Backend):
             key_a, key_b = pair_a, pair_b
             if threshold <= 0:
                 break
+        return key_a, key_b
+
+    def _sample_pair_type(self) -> Tuple[Hashable, Hashable]:
+        """Sample one active ordered pair type (pruning regime).
+
+        Small tables use the linear scan outright.  Large tables draw from
+        the lazily rebuilt :class:`AliasTable`; when the weights churn so
+        fast that a table rarely serves two draws before being invalidated,
+        rebuilding costs more than scanning, so the policy falls back to the
+        scan and only re-probes the alias path periodically.
+        """
+        pair_weights = self._pair_weights
+        if len(pair_weights) <= self._ALIAS_THRESHOLD:
+            return self._scan_pair_type()
+        alias = self._pair_alias
+        if alias is None:
+            churning = (
+                self._alias_builds >= 8
+                and self._alias_draws < 2 * self._alias_builds
+            )
+            if churning:
+                self._alias_scans += 1
+                if self._alias_scans % 64:
+                    return self._scan_pair_type()
+            alias = self._pair_alias = AliasTable(pair_weights)
+            self._alias_builds += 1
+        self._alias_draws += 1
+        return alias.sample(self._pair_rng)
+
+    def _sample_dense_pair(self) -> Tuple[Hashable, Hashable]:
+        """Sample the ordered key pair of a uniform interaction (dense regime).
+
+        Exactly the uniform law over ordered pairs of distinct agents read at
+        key level: the initiator's key is drawn with probability ``c_a / n``
+        and the responder's with ``(c_b - [a = b]) / (n - 1)``, implemented
+        by rejection against the plain ``c_b / n`` proposal.
+        """
+        counts = self.counts
+        if len(counts) == 1:
+            key = next(iter(counts))
+            return key, key
+        alias = self._count_alias
+        if alias is None:
+            alias = self._count_alias = AliasTable(counts)
+        rng = self._pair_rng
+        key_a = alias.sample(rng)
+        count_a = counts[key_a]
+        while True:
+            key_b = alias.sample(rng)
+            if key_b != key_a:
+                return key_a, key_b
+            # Same key drawn: one of its count_a agents is the initiator, so
+            # accept with probability (count_a - 1) / count_a.
+            if count_a > 1 and rng.random() * count_a < count_a - 1:
+                return key_a, key_b
+
+    def _apply_event(self) -> None:
+        """Sample one interaction's pair type and apply its transition.
+
+        In the pruning regime "active" means :meth:`can_interaction_change`
+        could not rule out a configuration change; in the dense regime every
+        pair is active, so the applied transition may turn out to be a no-op
+        either way.
+        """
+        if self._prunes:
+            key_a, key_b = self._sample_pair_type()
+        else:
+            key_a, key_b = self._sample_dense_pair()
         if self._deterministic:
             result = self._delta_cache.get((key_a, key_b))
             if result is None:
@@ -461,11 +627,103 @@ class BatchBackend(Backend):
             if self.track_state_space:
                 self.state_space.observe(new_a)
                 self.state_space.observe(new_b)
-            self._update_pair_weights((key_a, key_b, new_a, new_b))
+            if self._prunes:
+                self._update_pair_weights((key_a, key_b, new_a, new_b))
+            else:
+                self._count_alias = None
+                self._check_dense_fixed_point()
         simulator = self.simulator
         if simulator.hooks:
             for hook in simulator.hooks:
                 hook.on_batch_event(simulator, key_a, key_b, new_a, new_b)
+
+    def _check_dense_fixed_point(self) -> None:
+        """Detect the one provable fixed point available without pruning.
+
+        With a conservative ``can_interaction_change`` the dense regime has
+        no pair-weight table to drain to zero, but when a *deterministic*
+        protocol collapses the whole population onto a single key whose
+        self-interaction is a no-op, the configuration provably never changes
+        again.
+        """
+        if not self._deterministic or len(self.counts) != 1:
+            return
+        key = next(iter(self.counts))
+        result = self._delta_cache.get((key, key))
+        if result is None:
+            result = self._delta(key, key, self._agent_rng)
+            self.transition_calls += 1
+            self._delta_cache[(key, key)] = result
+        new_a, new_b = result
+        if (new_a == key and new_b == key):
+            self.terminal = True
+
+    # ----------------------------------------------------- failure injection
+    def corrupt_histogram(
+        self,
+        victims: int,
+        rewrite: Any,
+        rng: random.Random,
+    ) -> int:
+        """Corrupt ``victims`` *distinct* agents drawn uniformly at random.
+
+        The batch-mode analogue of mutating agent states in place: the
+        victims are chosen without replacement over the population (exactly
+        the agent-mode ``rng.sample`` fault model, marginalised to keys),
+        each victim's key is removed from the histogram and replaced by
+        ``rewrite(key, rng)``.  The sampling structures are rebuilt
+        afterwards.  Returns the number of agents whose key actually
+        changed.
+        """
+        if victims < 0:
+            raise ConfigurationError("victims must be non-negative")
+        if victims > self.n:
+            raise ConfigurationError(
+                f"cannot corrupt {victims} distinct agents in a population of {self.n}"
+            )
+        counts = self.counts
+        # Resolve all victim tickets against the pre-corruption histogram in
+        # one cumulative pass (tickets index agents in an arbitrary but fixed
+        # key order, which is exchangeable under the uniform choice).
+        tickets = sorted(rng.sample(range(self.n), victims))
+        victim_keys: List[Hashable] = []
+        cumulative = 0
+        ticket_index = 0
+        for key, count in counts.items():
+            cumulative += count
+            while ticket_index < len(tickets) and tickets[ticket_index] < cumulative:
+                victim_keys.append(key)
+                ticket_index += 1
+            if ticket_index == len(tickets):
+                break
+        changed = 0
+        for key in victim_keys:
+            new_key = rewrite(key, rng)
+            if new_key == key:
+                continue
+            if self._lifted is not None and not self._lifted.knows(new_key):
+                # The lifted adapter can only simulate keys it has seen a
+                # representative state for; an unseen key would crash the
+                # next transition with an opaque KeyError.
+                raise SimulationError(
+                    f"key-level corruption produced {new_key!r}, which the "
+                    "key-lifting adapter has no representative state for; "
+                    "rewrite only to already-observed keys or implement the "
+                    "native key API on the protocol"
+                )
+            counts[key] -= 1
+            if not counts[key]:
+                del counts[key]
+            counts[new_key] += 1
+            if self.track_state_space:
+                self.state_space.observe(new_key)
+            changed += 1
+        if changed:
+            if self._prunes:
+                self._rebuild_pair_weights()
+            self._count_alias = None
+            self.terminal = False
+        return changed
 
     # ------------------------------------------------------------- observers
     def state_key_counts(self) -> Counter:

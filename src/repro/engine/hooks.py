@@ -8,7 +8,11 @@ deliberate, documented break of uniformity confined to the analysis layer).
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Callable, Hashable, Optional
+
+from .errors import ConfigurationError
+from .rng import SeedLike, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
     from .simulator import Simulator
@@ -60,6 +64,16 @@ class Hook:
         produce no callback.
         """
 
+    def before_checkpoint(self, simulator: "Simulator") -> None:
+        """Called at each checkpoint *before* the convergence predicate runs.
+
+        This is the place for interventions that must be visible to the
+        predicate evaluated at the same checkpoint (e.g. batch-mode failure
+        injection): firing from :meth:`on_checkpoint` instead could corrupt
+        the configuration *after* the final satisfied check, producing a
+        "converged" result whose reported outputs never passed the predicate.
+        """
+
     def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
         """Called whenever the simulator evaluates its convergence predicate."""
 
@@ -83,6 +97,7 @@ class CallbackHook(Hook):
         on_batch_event: Optional[
             Callable[["Simulator", Hashable, Hashable, Hashable, Hashable], None]
         ] = None,
+        before_checkpoint: Optional[Callable[["Simulator"], None]] = None,
     ) -> None:
         self._on_start = on_start
         self._before = before_interaction
@@ -90,6 +105,7 @@ class CallbackHook(Hook):
         self._on_checkpoint = on_checkpoint
         self._on_end = on_end
         self._on_batch_event = on_batch_event
+        self._before_checkpoint = before_checkpoint
 
     def on_start(self, simulator: "Simulator") -> None:
         if self._on_start:
@@ -114,6 +130,10 @@ class CallbackHook(Hook):
         if self._on_batch_event:
             self._on_batch_event(simulator, key_a, key_b, new_key_a, new_key_b)
 
+    def before_checkpoint(self, simulator: "Simulator") -> None:
+        if self._before_checkpoint:
+            self._before_checkpoint(simulator)
+
     def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
         if self._on_checkpoint:
             self._on_checkpoint(simulator, satisfied)
@@ -124,29 +144,105 @@ class CallbackHook(Hook):
 
 
 class FailureInjectionHook(Hook):
-    """Corrupt agent states at chosen interactions.
+    """Corrupt agent states at a chosen interaction, under either backend.
 
     Used by the stability test-suite to verify that the error-detection
     routines of the stable protocols (Appendix B / F) catch injected faults
     and fall back to the always-correct backup protocols.
 
+    Two corruption modes exist, matching the two population representations:
+
+    * ``corrupt`` mutates per-agent state objects in place — only possible
+      under the agent backend, which materialises them.
+    * ``corrupt_key`` rewrites state *keys*; under the batch backend
+      ``victims`` agents are sampled from the key histogram (weighted by
+      multiplicity, i.e. uniformly over agents) and each victim's key is
+      replaced by ``corrupt_key(key, rng)`` via
+      :meth:`~repro.engine.backends.BatchBackend.corrupt_histogram`.  This is
+      the marginalised view of uniform-victim corruption, so stability
+      experiments scale to populations where agent objects are prohibitive.
+
+    At least one mode must be provided; a hook with only ``corrupt`` keeps
+    the historical behaviour of refusing the batch backend outright (a
+    silent no-fire would report falsely clean stability results).  The batch
+    trigger is checked after every simulated event and at every convergence
+    checkpoint, so with a conservative interaction budget the corruption
+    fires even across long configuration-preserving skips.
+
+    Under *either* backend a run that ends before ``at_interaction`` — an
+    early convergence stop, an exhausted budget, or (batch) a terminal fixed
+    point — finishes without the corruption ever firing; stability
+    experiments must therefore place ``at_interaction`` inside the
+    pre-convergence window and assert :attr:`fired` afterwards.
+
     Args:
         at_interaction: Interaction index after which the corruption fires.
-        corrupt: Callable receiving ``(simulator, rng)`` that mutates one or
-            more agent states in place.
+        corrupt: Callable receiving the simulator; mutates one or more agent
+            states in place (agent backend).
+        corrupt_key: Callable ``(key, rng) -> new_key`` applied to each
+            sampled victim's state key (batch backend).
+        victims: Number of agents corrupted by the batch-mode injection.
+        seed: Seed of the injection's private random stream.
     """
 
-    # Corruption mutates per-agent state objects, which only the agent
-    # backend materialises; under the batch backend this hook would silently
-    # never fire and report falsely clean stability results.
-    requires_agent_backend = True
-
-    def __init__(self, at_interaction: int, corrupt: Callable[["Simulator"], None]) -> None:
+    def __init__(
+        self,
+        at_interaction: int,
+        corrupt: Optional[Callable[["Simulator"], None]] = None,
+        corrupt_key: Optional[Callable[[Hashable, random.Random], Hashable]] = None,
+        victims: int = 1,
+        seed: SeedLike = 0,
+    ) -> None:
+        if corrupt is None and corrupt_key is None:
+            raise ConfigurationError(
+                "FailureInjectionHook needs corrupt (agent backend) and/or "
+                "corrupt_key (batch backend)"
+            )
+        if victims < 1:
+            raise ConfigurationError("victims must be at least 1")
         self.at_interaction = at_interaction
         self.corrupt = corrupt
+        self.corrupt_key = corrupt_key
+        self.victims = victims
         self.fired = False
+        self._rng = make_rng(seed, "failure-injection")
+        # Without a key-level corruption the batch backend must refuse the
+        # hook instead of silently never firing it.
+        self.requires_agent_backend = corrupt_key is None
+
+    def on_start(self, simulator: "Simulator") -> None:
+        if simulator.backend_name == "agent" and self.corrupt is None:
+            raise ConfigurationError(
+                "FailureInjectionHook has no agent-state corruption; provide "
+                "corrupt= to run under the agent backend"
+            )
+
+    def _maybe_fire_batch(self, simulator: "Simulator") -> None:
+        if not self.fired and simulator.interactions >= self.at_interaction:
+            self.fired = True
+            simulator.backend.corrupt_histogram(
+                self.victims, self.corrupt_key, self._rng
+            )
 
     def after_interaction(self, simulator: "Simulator", initiator: int, responder: int) -> None:
         if not self.fired and simulator.interactions >= self.at_interaction:
-            self.corrupt(simulator)
             self.fired = True
+            self.corrupt(simulator)
+
+    def on_batch_event(
+        self,
+        simulator: "Simulator",
+        key_a: Hashable,
+        key_b: Hashable,
+        new_key_a: Hashable,
+        new_key_b: Hashable,
+    ) -> None:
+        self._maybe_fire_batch(simulator)
+
+    def before_checkpoint(self, simulator: "Simulator") -> None:
+        # Fire *before* the predicate runs so a checkpoint-triggered
+        # corruption is always visible to the check evaluated alongside it
+        # (matching the agent backend, where after_interaction precedes the
+        # next checkpoint).
+        if simulator.backend_name == "batch":
+            self._maybe_fire_batch(simulator)

@@ -29,7 +29,7 @@ import random
 from collections import Counter
 from typing import Any, Generic, Hashable, Iterable, Sequence, Tuple, TypeVar
 
-__all__ = ["Protocol", "state_fields", "generic_state_key"]
+__all__ = ["Protocol", "state_fields", "generic_state_key", "deep_replace"]
 
 S = TypeVar("S")
 
@@ -37,6 +37,23 @@ S = TypeVar("S")
 def state_fields(state: Any) -> Sequence[str]:
     """Return the ordered field names of a dataclass state object."""
     return tuple(f.name for f in dataclasses.fields(state))
+
+
+def deep_replace(state: Any) -> Any:
+    """Return a copy of a dataclass instance with nested dataclasses copied too.
+
+    ``dataclasses.replace`` alone is shallow: a composed state such as the
+    counting protocols' agents (a dataclass of component dataclasses) would
+    share its mutable components with the copy, so mutating the copy corrupts
+    the original.  This helper recurses into dataclass-typed field values.
+    """
+    values = {}
+    for f in dataclasses.fields(state):
+        value = getattr(state, f.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = deep_replace(value)
+        values[f.name] = value
+    return type(state)(**values)
 
 
 def generic_state_key(state: Any) -> Hashable:
@@ -115,9 +132,15 @@ class Protocol(abc.ABC, Generic[S]):
         return generic_state_key(state)
 
     def copy_state(self, state: S) -> S:
-        """Return an independent copy of ``state`` (used by recorders/tests)."""
+        """Return an independent copy of ``state`` (used by recorders/tests).
+
+        Nested dataclass fields are copied recursively: composed states (a
+        dataclass of component dataclasses, the shape of every counting
+        protocol) must not share mutable components with their copies, or the
+        key-lifting adapter's representatives would be corrupted in place.
+        """
         if dataclasses.is_dataclass(state) and not isinstance(state, type):
-            return dataclasses.replace(state)  # type: ignore[return-value]
+            return deep_replace(state)  # type: ignore[return-value]
         raise ProtocolCopyError(
             f"{type(self).__name__} states are not dataclasses; override copy_state()"
         )

@@ -33,7 +33,30 @@ from .protocol import Protocol
 from .rng import SeedLike, make_rng
 from .scheduler import Scheduler, UniformRandomScheduler
 
-__all__ = ["SimulationResult", "Simulator", "simulate", "default_interaction_budget"]
+__all__ = [
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "default_interaction_budget",
+    "json_value",
+]
+
+
+def json_value(value: Any) -> Any:
+    """Return a JSON-serialisable stand-in for an arbitrary result value.
+
+    Scalars pass through; mappings and sequences are converted recursively;
+    anything else (tuples of state-key fragments, protocol objects, …) falls
+    back to its stable ``repr``.  Used by the result serialisation hooks so
+    experiment artifacts never fail on exotic output values.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(json_value(key)): json_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_value(item) for item in value]
+    return repr(value)
 
 #: Above this population size the batch backend omits the expanded per-agent
 #: ``outputs`` list from results (the histogram is always present).
@@ -125,11 +148,30 @@ class SimulationResult:
             "converged": self.converged,
             "convergence_interaction": self.convergence_interaction,
             "stopped_reason": self.stopped_reason,
-            "consensus_output": self.consensus_output,
+            "consensus_output": json_value(self.consensus_output),
             "agreement_fraction": round(self.agreement_fraction, 4),
             "distinct_states": self.distinct_states,
             "wall_time_s": round(self.wall_time_s, 4),
         }
+
+    def as_json_dict(self) -> Dict[str, Any]:
+        """Return a lossless-ish JSON-safe record of the run.
+
+        Extends :meth:`summary` with the output histogram, the state-space
+        summary, and the ``extra`` payload, with every non-JSON value passed
+        through :func:`json_value`.  This is the serialisation hook used by
+        the experiment artifact writers (``SWEEP_*.json``); it deliberately
+        omits the per-agent ``outputs`` list, which the histogram already
+        represents up to the (meaningless) agent order.
+        """
+        record = self.summary()
+        record["output_counts"] = [
+            [json_value(value), count] for value, count in self.output_counts.most_common()
+        ]
+        record["state_space"] = json_value(self.state_space)
+        record["min_participation"] = self.min_participation
+        record["extra"] = json_value(self.extra)
+        return record
 
 
 def _record_seed(seed: SeedLike) -> Optional[Union[int, str]]:
@@ -389,6 +431,8 @@ class Simulator:
                 and backend.interactions % cadence == 0
                 and backend.interactions != last_checked
             ):
+                for hook in self.hooks:
+                    hook.before_checkpoint(self)
                 satisfied = convergence(backend.convergence_view())
                 tracker.record(last_checked + 1, satisfied)
                 last_checked = backend.interactions

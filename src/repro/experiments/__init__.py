@@ -1,0 +1,54 @@
+"""Parallel experiment-sweep subsystem.
+
+This package turns the single-run simulator into a *measurement instrument*
+for the paper's scaling claims: a declarative, JSON round-trippable
+:class:`~repro.experiments.spec.SweepSpec` describes a grid over population
+sizes, protocol parameters, and seeds; :class:`~repro.experiments.runner.SweepRunner`
+fans the cells out across cores with spawn-safe ``multiprocessing`` workers;
+the aggregation layer reduces each cell to convergence/parallel-time/state
+statistics and fits log-log scaling exponents across ``n``; and the artifact
+writers persist ``SWEEP_<name>.json`` + CSV with resume support.  The
+``repro-sweep`` console script (:mod:`repro.experiments.cli`) exposes all of
+it, including builtin sweeps reproducing the paper's counting curves.
+"""
+
+from .aggregate import cell_stats, fit_power_law, sample_stats, sweep_fits
+from .artifacts import (
+    build_document,
+    completed_cell_ids,
+    load_document,
+    merge_cells,
+    sweep_csv_path,
+    sweep_json_path,
+    write_sweep,
+)
+from .builtin import builtin_names, builtin_specs, resolve_builtin
+from .registry import PROTOCOLS, ProtocolEntry, protocol_names, resolve_protocol
+from .runner import SweepRunner, execute_cell
+from .spec import BudgetPolicy, SweepCell, SweepSpec
+
+__all__ = [
+    "BudgetPolicy",
+    "PROTOCOLS",
+    "ProtocolEntry",
+    "SweepCell",
+    "SweepRunner",
+    "SweepSpec",
+    "build_document",
+    "builtin_names",
+    "builtin_specs",
+    "cell_stats",
+    "completed_cell_ids",
+    "execute_cell",
+    "fit_power_law",
+    "load_document",
+    "merge_cells",
+    "protocol_names",
+    "resolve_builtin",
+    "resolve_protocol",
+    "sample_stats",
+    "sweep_csv_path",
+    "sweep_json_path",
+    "sweep_fits",
+    "write_sweep",
+]

@@ -1,0 +1,144 @@
+"""Aggregation of sweep runs: per-cell statistics and scaling-law fits.
+
+The paper's headline results are *scaling claims* — convergence time and
+state usage as functions of ``n`` (Theorems 1 and 2, Lemmas 12 and 13).  A
+sweep measures a sample of runs per grid cell; this module reduces them to
+per-cell statistics (mean / median / quantiles of interactions-to-
+convergence, parallel time ``interactions / n``, state-space size) and fits
+the log-log scaling exponent across population sizes, the quantity compared
+against the paper's bounds.
+
+Dependency-free by design (no numpy/scipy): quantiles use linear
+interpolation on the sorted sample and the power-law fit is ordinary least
+squares in log-log space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["sample_stats", "cell_stats", "fit_power_law", "sweep_fits"]
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an already sorted non-empty sample."""
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+def sample_stats(values: Iterable[float]) -> Optional[Dict[str, float]]:
+    """Mean/median/quantile summary of a sample (``None`` when empty)."""
+    ordered = sorted(float(value) for value in values)
+    if not ordered:
+        return None
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((value - mean) ** 2 for value in ordered) / count
+    return {
+        "count": count,
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": ordered[0],
+        "p10": _quantile(ordered, 0.10),
+        "median": _quantile(ordered, 0.50),
+        "p90": _quantile(ordered, 0.90),
+        "max": ordered[-1],
+    }
+
+
+def cell_stats(n: int, runs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Reduce one cell's run summaries to its per-cell statistics.
+
+    ``runs`` are :meth:`repro.engine.SimulationResult.summary`-style records.
+    Convergence-time statistics cover only converged runs (their count is
+    reported separately so incomplete cells are visible in the artifact);
+    the parallel-time axis is ``interactions / n``, the model's unit of
+    parallel time.
+    """
+    converged = [run for run in runs if run.get("converged")]
+    convergence_interactions = [
+        run["convergence_interaction"]
+        for run in converged
+        if run.get("convergence_interaction") is not None
+    ]
+    return {
+        "runs": len(runs),
+        "converged_runs": len(converged),
+        "convergence_rate": len(converged) / len(runs) if runs else 0.0,
+        "convergence_interactions": sample_stats(convergence_interactions),
+        "parallel_time": sample_stats(
+            value / n for value in convergence_interactions
+        ),
+        "total_interactions": sample_stats(run["interactions"] for run in runs),
+        "distinct_states": sample_stats(run["distinct_states"] for run in runs),
+        "wall_time_s": sample_stats(run["wall_time_s"] for run in runs),
+        "stopped_reasons": _reason_histogram(runs),
+    }
+
+
+def _reason_histogram(runs: List[Dict[str, Any]]) -> Dict[str, int]:
+    histogram: Dict[str, int] = {}
+    for run in runs:
+        reason = str(run.get("stopped_reason"))
+        histogram[reason] = histogram.get(reason, 0) + 1
+    return histogram
+
+
+def fit_power_law(points: Sequence[Tuple[float, float]]) -> Optional[Dict[str, float]]:
+    """Least-squares fit of ``t = c * n^b`` on ``(n, t)`` points, in log-log.
+
+    Returns the exponent ``b``, the coefficient ``c``, and the log-log
+    ``r_squared``; ``None`` when fewer than two usable points exist (a fit
+    needs at least two distinct population sizes).
+    """
+    usable = [(n, t) for n, t in points if n > 0 and t and t > 0]
+    if len({n for n, _t in usable}) < 2:
+        return None
+    logs = [(math.log(n), math.log(t)) for n, t in usable]
+    count = len(logs)
+    mean_x = sum(x for x, _y in logs) / count
+    mean_y = sum(y for _x, y in logs) / count
+    ss_xx = sum((x - mean_x) ** 2 for x, _y in logs)
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in logs)
+    ss_yy = sum((y - mean_y) ** 2 for _x, y in logs)
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    residual = sum((y - (intercept + slope * x)) ** 2 for x, y in logs)
+    r_squared = 1.0 - residual / ss_yy if ss_yy > 0 else 1.0
+    return {
+        "exponent": slope,
+        "coefficient": math.exp(intercept),
+        "r_squared": r_squared,
+        "points": count,
+    }
+
+
+def sweep_fits(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fit the scaling exponents across a sweep's completed cells.
+
+    Three fits are reported, one per measured axis:
+
+    * ``convergence_interactions`` — mean interactions-to-convergence vs
+      ``n`` (the paper's ``O(n log n)`` / ``O(n log^2 n)`` / ``Õ(n^2)``
+      claims all appear here as exponents slightly above 1, resp. about 2);
+    * ``parallel_time`` — the same divided by ``n`` (exponent about 0 for
+      near-linear protocols);
+    * ``distinct_states`` — mean observed state-space size vs ``n`` (the
+      second axis of the paper's results).
+    """
+    fits: Dict[str, Any] = {}
+    for measure in ("convergence_interactions", "parallel_time", "distinct_states"):
+        points = []
+        for cell in cells:
+            stats = cell.get("stats") or {}
+            summary = stats.get(measure)
+            if summary:
+                points.append((cell["n"], summary["mean"]))
+        fits[measure] = fit_power_law(points)
+    return fits

@@ -1,0 +1,217 @@
+"""Protocol registry for the experiment-sweep subsystem.
+
+Sweep specifications are *declarative* (JSON round-trippable), so protocols
+are referenced by name rather than by object.  The registry maps each name to
+a builder ``(n, params) -> Protocol`` plus a convergence-predicate factory —
+both module-level and picklable-by-name, which is what makes sweep cells
+executable in freshly spawned ``multiprocessing`` workers.
+
+The convergence predicates may use ``n``: they are *measurement* apparatus
+(the paper's acceptance criteria, e.g. "every output is ``floor(log2 n)`` or
+``ceil(log2 n)``"), not part of any transition function, so uniformity is
+untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..counting.approximate import ApproximateProtocol, log_estimate_targets
+from ..counting.backup import ApproximateBackupProtocol, ExactBackupProtocol
+from ..counting.count_exact import CountExactProtocol
+from ..counting.params import (
+    ApproximateParameters,
+    CountExactParameters,
+    recommended_clock_modulus,
+)
+from ..counting.stable_approximate import StableApproximateProtocol
+from ..counting.stable_count_exact import StableCountExactProtocol
+from ..engine.convergence import (
+    OutputPredicate,
+    all_outputs_equal,
+    output_items,
+    outputs_in,
+)
+from ..engine.errors import ConfigurationError
+from ..engine.protocol import Protocol
+from ..primitives.epidemic import OneWayEpidemic
+from ..primitives.junta import JuntaProtocol
+
+__all__ = ["ProtocolEntry", "PROTOCOLS", "resolve_protocol", "protocol_names"]
+
+
+def _clock_modulus(n: int, params: Dict[str, Any]) -> int:
+    """Resolve the ``clock_modulus`` parameter (``"auto"`` = calibrated)."""
+    modulus = params.get("clock_modulus", "auto")
+    if modulus == "auto":
+        return recommended_clock_modulus(n)
+    return int(modulus)
+
+
+def _build_approximate(n: int, params: Dict[str, Any]) -> Protocol:
+    return ApproximateProtocol(ApproximateParameters(clock_modulus=_clock_modulus(n, params)))
+
+
+def _build_approximate_stable(n: int, params: Dict[str, Any]) -> Protocol:
+    return StableApproximateProtocol(
+        ApproximateParameters(clock_modulus=_clock_modulus(n, params)),
+        relaxed_output=bool(params.get("relaxed_output", False)),
+    )
+
+
+def _build_count_exact(n: int, params: Dict[str, Any]) -> Protocol:
+    return CountExactProtocol(CountExactParameters(clock_modulus=_clock_modulus(n, params)))
+
+
+def _build_count_exact_stable(n: int, params: Dict[str, Any]) -> Protocol:
+    return StableCountExactProtocol(
+        CountExactParameters(clock_modulus=_clock_modulus(n, params))
+    )
+
+
+def _build_backup_approximate(n: int, params: Dict[str, Any]) -> Protocol:
+    return ApproximateBackupProtocol()
+
+
+def _build_backup_exact(n: int, params: Dict[str, Any]) -> Protocol:
+    return ExactBackupProtocol()
+
+
+def _build_epidemic(n: int, params: Dict[str, Any]) -> Protocol:
+    return OneWayEpidemic(
+        source_count=int(params.get("source_count", 1)),
+        source_value=int(params.get("source_value", 1)),
+    )
+
+
+def _build_junta(n: int, params: Dict[str, Any]) -> Protocol:
+    return JuntaProtocol()
+
+
+def _log_targets(n: int, params: Dict[str, Any]) -> OutputPredicate:
+    return outputs_in(log_estimate_targets(n))
+
+
+def _exact_n(n: int, params: Dict[str, Any]) -> OutputPredicate:
+    return all_outputs_equal(n)
+
+
+def _floor_log(n: int, params: Dict[str, Any]) -> OutputPredicate:
+    return all_outputs_equal(int(math.floor(math.log2(n))))
+
+
+def _epidemic_consensus(n: int, params: Dict[str, Any]) -> OutputPredicate:
+    return all_outputs_equal(int(params.get("source_value", 1)))
+
+
+def _all_inactive(n: int, params: Dict[str, Any]) -> OutputPredicate:
+    def predicate(outputs: Any) -> bool:
+        seen = False
+        for value, _count in output_items(outputs):
+            if value[1]:
+                return False
+            seen = True
+        return seen
+
+    predicate.__name__ = "all_inactive"
+    return predicate
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """A named, sweep-runnable protocol.
+
+    Attributes:
+        name: Registry key, used in sweep specs and artifact names.
+        build: Factory ``(n, params) -> Protocol``.
+        convergence: Factory for the paper's acceptance predicate at size
+            ``n``, or ``None`` for budget-bound protocols.
+        summary: One line shown by ``repro-sweep --list``.
+        counting: Whether the protocol belongs to the paper's counting stack
+            (the subject of the Theorem-1/2 scaling claims).
+    """
+
+    name: str
+    build: Callable[[int, Dict[str, Any]], Protocol]
+    convergence: Optional[Callable[[int, Dict[str, Any]], OutputPredicate]]
+    summary: str
+    counting: bool = False
+
+
+PROTOCOLS: Dict[str, ProtocolEntry] = {
+    entry.name: entry
+    for entry in (
+        ProtocolEntry(
+            "approximate",
+            _build_approximate,
+            _log_targets,
+            "Theorem 1(1): log2(n) +- 1 in O(n log^2 n) interactions",
+            counting=True,
+        ),
+        ProtocolEntry(
+            "approximate-stable",
+            _build_approximate_stable,
+            _log_targets,
+            "Theorem 1(2-3): stable hybrid of Approximate with backup fallback",
+            counting=True,
+        ),
+        ProtocolEntry(
+            "count-exact",
+            _build_count_exact,
+            _exact_n,
+            "Theorem 2: exact n in O(n log n) interactions",
+            counting=True,
+        ),
+        ProtocolEntry(
+            "count-exact-stable",
+            _build_count_exact_stable,
+            _exact_n,
+            "Theorem 2 / Appendix F: stable hybrid of CountExact",
+            counting=True,
+        ),
+        ProtocolEntry(
+            "backup-approximate",
+            _build_backup_approximate,
+            _floor_log,
+            "Appendix C.1 (Lemma 12): floor(log2 n) via pile merging, Õ(n^2)",
+            counting=True,
+        ),
+        ProtocolEntry(
+            "backup-exact",
+            _build_backup_exact,
+            _exact_n,
+            "Appendix C.2 (Lemma 13): exact n via token absorption, Õ(n^2)",
+            counting=True,
+        ),
+        ProtocolEntry(
+            "one-way-epidemic",
+            _build_epidemic,
+            _epidemic_consensus,
+            "Lemma 3 baseline: broadcast completes in O(n log n) interactions",
+        ),
+        ProtocolEntry(
+            "junta-process",
+            _build_junta,
+            _all_inactive,
+            "Lemma 4 baseline: junta election stabilises in O(n log n)",
+        ),
+    )
+}
+
+
+def protocol_names() -> List[str]:
+    """Registry keys in declaration order."""
+    return list(PROTOCOLS)
+
+
+def resolve_protocol(name: str) -> ProtocolEntry:
+    """Look up a registry entry, with a helpful error for unknown names."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; registered protocols: {known}"
+        ) from None

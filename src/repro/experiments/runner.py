@@ -1,0 +1,186 @@
+"""Parallel execution of sweep specifications.
+
+A sweep expands into *cells* (one per population size and parameter
+variant); each cell runs its seeded repetitions in a single task, and tasks
+are fanned out across cores with :mod:`multiprocessing`.  Everything a
+worker needs travels as plain JSON-able payloads and registry *names* — no
+live protocol objects cross the process boundary — so the pool runs under
+the ``spawn`` start method (the only one available everywhere, and the one
+that catches hidden pickling dependencies on all platforms).
+
+Failures are captured per cell: a crashing protocol marks its cell with the
+traceback and the rest of the sweep completes normally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+from ..engine.simulator import simulate
+from .aggregate import cell_stats
+from .registry import resolve_protocol
+from .spec import SweepCell, SweepSpec
+
+__all__ = ["SweepRunner", "execute_cell"]
+
+Progress = Optional[Callable[[str], None]]
+
+
+def _cell_payload(spec: SweepSpec, cell: SweepCell) -> Dict[str, Any]:
+    """Everything a worker needs to run one cell, as picklable primitives."""
+    return {
+        "cell_id": cell.cell_id,
+        "protocol": spec.protocol,
+        "n": cell.n,
+        "params": dict(cell.params),
+        "seeds": list(cell.seeds),
+        "backend": spec.backend,
+        "budget": spec.budget.budget(cell.n),
+        "check_interval": spec.check_interval(cell.n),
+        "confirm_checks": spec.confirm_checks,
+    }
+
+
+def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one sweep cell; the (spawn-safe) worker entry point.
+
+    Returns the cell record embedded into the ``SWEEP_*.json`` artifact.
+    Exceptions are converted into the record's ``error`` field so a single
+    failing cell cannot take down the whole sweep.
+    """
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "cell_id": payload["cell_id"],
+        "n": payload["n"],
+        "params": payload["params"],
+        "seeds": payload["seeds"],
+        "runs": [],
+        "stats": None,
+        "error": None,
+    }
+    try:
+        entry = resolve_protocol(payload["protocol"])
+        n = payload["n"]
+        params = payload["params"]
+        runs: List[Dict[str, Any]] = []
+        for seed in payload["seeds"]:
+            protocol = entry.build(n, params)
+            convergence = entry.convergence(n, params) if entry.convergence else None
+            result = simulate(
+                protocol,
+                n,
+                seed=seed,
+                backend=payload["backend"],
+                convergence=convergence,
+                max_interactions=payload["budget"],
+                check_interval=payload["check_interval"],
+                confirm_checks=payload["confirm_checks"],
+            )
+            # The engine's artifact serialisation hook: summary plus the
+            # output histogram, state-space summary, and extra payload.
+            runs.append(result.as_json_dict())
+        record["runs"] = runs
+        record["stats"] = cell_stats(n, runs)
+    except Exception:  # noqa: BLE001 - captured into the artifact by design
+        record["error"] = traceback.format_exc()
+    record["wall_time_s"] = round(time.perf_counter() - started, 3)
+    return record
+
+
+class SweepRunner:
+    """Execute a :class:`~repro.experiments.spec.SweepSpec` across cores.
+
+    Args:
+        spec: The sweep to run.
+        workers: Worker process count; ``None`` uses ``os.cpu_count()``.
+            Values below 2 run serially in-process (the fallback path, also
+            taken automatically when the pool cannot be created).
+        progress: Optional line-oriented progress callback.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workers: Optional[int] = None,
+        progress: Progress = None,
+    ) -> None:
+        self.spec = spec
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.progress = progress
+
+    def _report(self, line: str) -> None:
+        if self.progress:
+            self.progress(line)
+
+    def run(self, skip_cell_ids: Iterable[str] = ()) -> List[Dict[str, Any]]:
+        """Run every cell not in ``skip_cell_ids``; return the cell records.
+
+        Records come back in the spec's grid order.  Skipped cells are not
+        included — the artifact layer merges them from the previous run.
+        """
+        skip = set(skip_cell_ids)
+        cells = self.spec.cells()
+        pending = [cell for cell in cells if cell.cell_id not in skip]
+        if skip:
+            self._report(
+                f"resume: {len(cells) - len(pending)} of {len(cells)} cells "
+                f"already complete"
+            )
+        if not pending:
+            return []
+        payloads = [_cell_payload(self.spec, cell) for cell in pending]
+        if self.workers >= 2 and len(payloads) > 1:
+            records = self._run_parallel(payloads)
+        else:
+            records = self._run_serial(payloads)
+        order = {cell.cell_id: index for index, cell in enumerate(cells)}
+        records.sort(key=lambda record: order.get(record["cell_id"], len(order)))
+        return records
+
+    # ----------------------------------------------------------- strategies
+    def _run_serial(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        records = []
+        for payload in payloads:
+            self._report(f"cell {payload['cell_id']} (n={payload['n']}) ...")
+            record = execute_cell(payload)
+            self._report(_outcome_line(record))
+            records.append(record)
+        return records
+
+    def _run_parallel(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        workers = min(self.workers, len(payloads))
+        self._report(
+            f"running {len(payloads)} cells on {workers} worker processes"
+        )
+        try:
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(processes=workers) as pool:
+                records = []
+                for record in pool.imap_unordered(execute_cell, payloads):
+                    self._report(_outcome_line(record))
+                    records.append(record)
+                return records
+        except (OSError, ValueError) as error:
+            # Sandboxes without process support fall back to serial execution.
+            self._report(f"worker pool unavailable ({error}); running serially")
+            return self._run_serial(payloads)
+
+
+def _outcome_line(record: Dict[str, Any]) -> str:
+    if record["error"]:
+        reason = record["error"].strip().splitlines()[-1]
+        return f"  {record['cell_id']}: FAILED ({reason})"
+    stats = record["stats"] or {}
+    rate = stats.get("convergence_rate")
+    interactions = (stats.get("convergence_interactions") or {}).get("mean")
+    mean_text = f"{interactions:.3g}" if interactions is not None else "n/a"
+    return (
+        f"  {record['cell_id']}: {stats.get('converged_runs', 0)}/{stats.get('runs', 0)} "
+        f"converged (rate {rate:.2f}), mean convergence {mean_text} interactions, "
+        f"{record['wall_time_s']:.1f}s"
+    )

@@ -1,0 +1,210 @@
+"""Declarative sweep specifications with JSON round-tripping.
+
+A :class:`SweepSpec` describes a full experiment grid — protocol, population
+sizes, per-protocol parameter variants, seeds per cell, backend, interaction
+budget, and convergence-check policy — without referencing any live objects,
+so it can be written to disk, shipped to a spawned worker process, embedded
+in a ``SWEEP_*.json`` artifact, and re-run bit-identically (per-cell seeds
+are derived deterministically from the root seed).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..engine.backends import BACKEND_NAMES
+from ..engine.errors import ConfigurationError
+from ..engine.rng import SeedLike, derive_seed
+from .registry import resolve_protocol
+
+__all__ = ["BudgetPolicy", "SweepCell", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Interaction budget as ``factor * n^n_exponent * log2(n)^log_exponent``.
+
+    The default reproduces :func:`repro.engine.simulator.default_interaction_budget`
+    (``64 n log2(n)^2``), which covers the fast counting protocols; the
+    quadratic backup protocols of Appendix C use ``n_exponent=2``.
+    """
+
+    factor: float = 64.0
+    n_exponent: float = 1.0
+    log_exponent: float = 2.0
+
+    def budget(self, n: int) -> int:
+        """Interaction budget for population size ``n``."""
+        if n < 2:
+            raise ConfigurationError("population size must be at least 2")
+        return int(self.factor * n ** self.n_exponent * max(1.0, math.log2(n)) ** self.log_exponent)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: a (protocol parameters, population size) combination.
+
+    The cell's ``cell_id`` is stable across runs and is what ``--resume``
+    matches on; ``seeds`` lists the per-repetition seeds derived from the
+    spec's root seed.
+    """
+
+    cell_id: str
+    n: int
+    params: Dict[str, Any]
+    seeds: Tuple[int, ...]
+
+
+def _param_suffix(params: Dict[str, Any]) -> str:
+    if not params:
+        return ""
+    parts = [f"{key}={params[key]}" for key in sorted(params)]
+    return "-" + "-".join(parts)
+
+
+@dataclass
+class SweepSpec:
+    """A declarative experiment sweep.
+
+    Attributes:
+        name: Sweep name; determines the artifact file names.
+        protocol: Registry name (see :mod:`repro.experiments.registry`).
+        ns: Population sizes of the grid.
+        seeds_per_cell: Seeded repetitions per cell.
+        base_seed: Root seed; every cell seed is derived from it.
+        backend: Simulation backend (``"agent"``, ``"batch"``, ``"auto"``).
+        params: Protocol parameters shared by every cell.
+        param_grid: Optional per-parameter value lists; the grid is the
+            cartesian product of these with ``ns``.
+        budget: Interaction-budget policy.
+        check_interval_factor: Convergence-check cadence in units of ``n``
+            (one parallel-time unit each).
+        max_checks: Upper bound on the number of convergence checks per run;
+            the cadence is stretched to ``budget / max_checks`` when the
+            budget is large (quadratic protocols), keeping checkpointing
+            overhead bounded while the geometric skips do the fast-forwarding.
+        confirm_checks: Consecutive satisfied checks required to stop early.
+        description: Free-form text carried into the artifact.
+    """
+
+    name: str
+    protocol: str
+    ns: List[int]
+    seeds_per_cell: int = 5
+    base_seed: SeedLike = 0
+    backend: str = "auto"
+    params: Dict[str, Any] = field(default_factory=dict)
+    param_grid: Dict[str, List[Any]] = field(default_factory=dict)
+    budget: BudgetPolicy = field(default_factory=BudgetPolicy)
+    check_interval_factor: float = 1.0
+    max_checks: int = 2000
+    confirm_checks: int = 3
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep name must be non-empty")
+        resolve_protocol(self.protocol)  # fail fast on unknown protocols
+        if not self.ns:
+            raise ConfigurationError("sweep requires at least one population size")
+        if any(n < 2 for n in self.ns):
+            raise ConfigurationError("population sizes must be at least 2")
+        if self.seeds_per_cell < 1:
+            raise ConfigurationError("seeds_per_cell must be at least 1")
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.check_interval_factor <= 0:
+            raise ConfigurationError("check_interval_factor must be positive")
+        if self.max_checks < 1:
+            raise ConfigurationError("max_checks must be at least 1")
+        if self.confirm_checks < 1:
+            raise ConfigurationError("confirm_checks must be at least 1")
+
+    # ------------------------------------------------------------------ grid
+    def _param_variants(self) -> Iterator[Dict[str, Any]]:
+        if not self.param_grid:
+            yield dict(self.params)
+            return
+        keys = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[key] for key in keys)):
+            variant = dict(self.params)
+            variant.update(dict(zip(keys, values)))
+            yield variant
+
+    def cells(self) -> List[SweepCell]:
+        """Expand the grid into cells with deterministically derived seeds."""
+        expanded: List[SweepCell] = []
+        for variant in self._param_variants():
+            suffix = _param_suffix(
+                {key: variant[key] for key in sorted(self.param_grid)}
+            )
+            for n in self.ns:
+                seeds = tuple(
+                    derive_seed(self.base_seed, "sweep", self.name, self.protocol, n, repr(sorted(variant.items())), index)
+                    for index in range(self.seeds_per_cell)
+                )
+                expanded.append(
+                    SweepCell(
+                        cell_id=f"{self.protocol}{suffix}-n{n}",
+                        n=n,
+                        params=variant,
+                        seeds=seeds,
+                    )
+                )
+        return expanded
+
+    def check_interval(self, n: int) -> int:
+        """Convergence-check cadence for population size ``n``."""
+        cadence = max(1, int(self.check_interval_factor * n))
+        stretched = self.budget.budget(n) // self.max_checks
+        return max(cadence, stretched, 1)
+
+    # ------------------------------------------------------------------ JSON
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary representation (round-trips via from_dict)."""
+        # asdict recurses into the nested BudgetPolicy dataclass.
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`, with schema validation."""
+        if not isinstance(data, dict):
+            raise ConfigurationError("sweep spec must be a JSON object")
+        payload = dict(data)
+        budget = payload.pop("budget", None)
+        if budget is not None:
+            if not isinstance(budget, dict):
+                raise ConfigurationError("budget must be a JSON object")
+            try:
+                payload["budget"] = BudgetPolicy(**budget)
+            except TypeError as error:
+                raise ConfigurationError(f"invalid budget policy: {error}") from None
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py3.10 compat
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sweep spec fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise ConfigurationError(f"invalid sweep spec: {error}") from None
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the spec to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a spec from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"sweep spec is not valid JSON: {error}") from None
+        return cls.from_dict(data)

@@ -9,11 +9,12 @@ from setuptools import find_namespace_packages, setup
 
 setup(
     name="repro-berenbrink-kr19",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of Berenbrink, Kaaser, Radzik (PODC 2019) population "
-        "protocols with a batched configuration-vector simulation backend "
-        "and a parallel experiment-sweep subsystem"
+        "protocols with a batched configuration-vector simulation backend, "
+        "a parallel experiment-sweep subsystem, and a dynamic-population "
+        "chaos-scenario subsystem"
     ),
     package_dir={"": "src"},
     packages=find_namespace_packages(where="src"),
@@ -23,6 +24,7 @@ setup(
         "console_scripts": [
             "repro-bench=repro.bench.cli:main",
             "repro-sweep=repro.experiments.cli:main",
+            "repro-chaos=repro.scenarios.cli:main",
         ]
     },
 )

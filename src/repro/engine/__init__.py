@@ -18,11 +18,13 @@ from .backends import (
 )
 from .convergence import (
     ConvergenceTracker,
+    accuracy_fraction,
     all_outputs_equal,
     all_outputs_satisfy,
     fraction_outputs_satisfy,
     output_items,
     outputs_in,
+    outputs_within_spread,
     total_outputs,
 )
 from .errors import (
@@ -33,7 +35,7 @@ from .errors import (
     SimulationError,
     UniformityError,
 )
-from .hooks import CallbackHook, FailureInjectionHook, Hook
+from .hooks import CallbackHook, FailureInjectionHook, Hook, TimelineEvent
 from .metrics import (
     AggregateInteractionCounter,
     InteractionCounter,
@@ -44,6 +46,8 @@ from .protocol import Protocol, generic_state_key
 from .recorder import OutputTraceRecorder, StateHistogramRecorder
 from .rng import derive_seed, make_rng, mix_seed, spawn_rngs, spawn_seeds
 from .scheduler import (
+    BiasedScheduler,
+    PartitionedScheduler,
     RoundRobinScheduler,
     Scheduler,
     SequenceScheduler,
@@ -64,11 +68,13 @@ __all__ = [
     "BatchBackend",
     "LiftedKeyTransitions",
     "ConvergenceTracker",
+    "accuracy_fraction",
     "all_outputs_equal",
     "all_outputs_satisfy",
     "fraction_outputs_satisfy",
     "output_items",
     "outputs_in",
+    "outputs_within_spread",
     "total_outputs",
     "ConfigurationError",
     "ExperimentError",
@@ -79,6 +85,7 @@ __all__ = [
     "CallbackHook",
     "FailureInjectionHook",
     "Hook",
+    "TimelineEvent",
     "AggregateInteractionCounter",
     "InteractionCounter",
     "MetricsSnapshot",
@@ -92,6 +99,8 @@ __all__ = [
     "mix_seed",
     "spawn_rngs",
     "spawn_seeds",
+    "BiasedScheduler",
+    "PartitionedScheduler",
     "RoundRobinScheduler",
     "Scheduler",
     "SequenceScheduler",

@@ -175,6 +175,12 @@ class Backend(abc.ABC):
         self.simulator = simulator
         self.protocol: Protocol = simulator.protocol
         self.n: int = simulator.n
+        #: Next agent id handed to ``Protocol.initial_state`` when agents
+        #: join a running population (ids never repeat within a run).
+        self._next_agent_id: int = self.n
+        #: Number of population-changing operations (join/leave/restart)
+        #: applied so far.
+        self.population_changes: int = 0
         self.interactions: int = 0
         #: Number of Python-level transition invocations actually executed
         #: (``transition()`` for the agent backend, ``delta_key()`` for the
@@ -189,6 +195,74 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def advance_to(self, target: int) -> None:
         """Advance the chain until ``interactions == target`` or terminal."""
+
+    def skip_to(self, target: int) -> None:
+        """Jump the interaction counter forward without simulating.
+
+        Exact only while the configuration provably cannot change (the batch
+        backend's :attr:`terminal` state); the simulator uses it to fast-
+        forward a terminal configuration to the next timeline event, which
+        may then re-activate the population.
+        """
+        if target < self.interactions:
+            raise SimulationError(
+                f"cannot skip backwards from {self.interactions} to {target}"
+            )
+        self.interactions = target
+
+    # ------------------------------------------------- population dynamics
+    def fresh_initial_state(self) -> Any:
+        """Initial state of a brand-new agent (consumes a never-used id).
+
+        Protocols whose ``initial_state`` depends on the agent id (epidemic
+        sources, designated piles) hand fresh agents the "blank" state of a
+        late agent — the natural semantics for joiners and reset victims.
+        """
+        state = self.protocol.initial_state(self._next_agent_id)
+        self._next_agent_id += 1
+        return state
+
+    @abc.abstractmethod
+    def join(self, count: int) -> Dict[str, Any]:
+        """Add ``count`` fresh agents (in their protocol initial state).
+
+        New agents receive never-before-used agent ids, so protocols whose
+        ``initial_state`` depends on the id (e.g. epidemic sources) hand
+        joiners the "blank" state of a late agent.  Returns a JSON-friendly
+        record of the change.
+        """
+
+    @abc.abstractmethod
+    def leave(self, count: int, rng: random.Random, min_remaining: int = 2) -> Dict[str, Any]:
+        """Remove ``count`` uniformly random distinct agents.
+
+        Raises :class:`ConfigurationError` when fewer than ``min_remaining``
+        agents would remain (the population model needs two).
+        """
+
+    def replace(self, count: int, rng: random.Random) -> Dict[str, Any]:
+        """Crash-and-rejoin churn: ``count`` random agents leave, ``count`` join.
+
+        The joiners are fresh agents (initial state, new ids); the population
+        size is unchanged.
+        """
+        left = self.leave(count, rng, min_remaining=0)
+        joined = self.join(count)
+        return {"replaced": count, "left": left, "joined": joined}
+
+    @abc.abstractmethod
+    def restart_population(self) -> Dict[str, Any]:
+        """Reset every agent to the initial configuration at the current size.
+
+        This is the recovery action of the paper's hybrid protocols after a
+        detected error, applied population-wide: the run continues as a fresh
+        execution over the *current* ``n`` (agent ids ``0..n-1``), which is
+        what lets the counting protocols re-count after churn.
+        """
+
+    def _check_population(self, count: int) -> None:
+        if count < 0:
+            raise ConfigurationError("population change count must be non-negative")
 
     # ------------------------------------------------------------- observers
     @abc.abstractmethod
@@ -298,6 +372,83 @@ class AgentBackend(Backend):
     @property
     def min_participation(self) -> int:
         return self.counter.min_participation
+
+    # ------------------------------------------------- population dynamics
+    def join(self, count: int) -> Dict[str, Any]:
+        self._check_population(count)
+        protocol = self.protocol
+        for _ in range(count):
+            state = self.fresh_initial_state()
+            self.states.append(state)
+            self.counter.add_agent()
+            if self.track_state_space:
+                self.state_space.observe(protocol.state_key(state))
+        self.n += count
+        self.population_changes += 1
+        return {"joined": count, "n": self.n}
+
+    def leave(self, count: int, rng: random.Random, min_remaining: int = 2) -> Dict[str, Any]:
+        self._check_population(count)
+        if self.n - count < min_remaining:
+            raise ConfigurationError(
+                f"cannot remove {count} of {self.n} agents; at least "
+                f"{min_remaining} must remain"
+            )
+        # Swap-removal in descending index order keeps pending indices valid;
+        # the per-agent participation counters follow the same moves.
+        for index in sorted(rng.sample(range(self.n), count), reverse=True):
+            self.states[index] = self.states[-1]
+            self.states.pop()
+            self.counter.remove_agent(index)
+        self.n -= count
+        self.population_changes += 1
+        return {"left": count, "n": self.n}
+
+    def restart_population(self) -> Dict[str, Any]:
+        protocol = self.protocol
+        self.states = [protocol.initial_state(i) for i in range(self.n)]
+        if self.track_state_space:
+            key = protocol.state_key
+            for state in self.states:
+                self.state_space.observe(key(state))
+        self.population_changes += 1
+        return {"restarted": self.n, "n": self.n}
+
+    # ----------------------------------------------------- failure injection
+    def corrupt_agents(
+        self,
+        victims: int,
+        rewrite: Any,
+        rng: random.Random,
+    ) -> int:
+        """Corrupt ``victims`` distinct agents' state objects.
+
+        The agent-level analogue of
+        :meth:`BatchBackend.corrupt_histogram`: ``rewrite(state, rng)``
+        returns the victim's replacement state (or ``None`` to keep the —
+        possibly mutated in place — original object).  Returns the number of
+        victims whose state *key* actually changed, matching the batch
+        backend's accounting so scenario records compare across backends.
+        """
+        if victims < 0:
+            raise ConfigurationError("victims must be non-negative")
+        if victims > self.n:
+            raise ConfigurationError(
+                f"cannot corrupt {victims} distinct agents in a population of {self.n}"
+            )
+        key = self.protocol.state_key
+        changed = 0
+        for index in rng.sample(range(self.n), victims):
+            old_key = key(self.states[index])
+            new_state = rewrite(self.states[index], rng)
+            if new_state is not None:
+                self.states[index] = new_state
+            new_key = key(self.states[index])
+            if new_key != old_key:
+                changed += 1
+            if self.track_state_space:
+                self.state_space.observe(new_key)
+        return changed
 
 
 class BatchBackend(Backend):
@@ -658,6 +809,121 @@ class BatchBackend(Backend):
         if (new_a == key and new_b == key):
             self.terminal = True
 
+    # ------------------------------------------------- population dynamics
+    def register_state(self, state: Any) -> Hashable:
+        """Key of ``state``, registering a lifted representative when needed.
+
+        Keys produced outside the simulated chain (joining agents, fault
+        rewrites) must pass through here so the key-lifting adapter learns a
+        representative before the key first participates in a transition.
+        """
+        if self._lifted is not None:
+            return self._lifted.register(state)
+        return self.protocol.state_key(state)
+
+    def _population_changed(
+        self, changed: Tuple[Hashable, ...] = (), full_rebuild: bool = False
+    ) -> None:
+        """Invalidate the sampling structures after the histogram changed.
+
+        Pair weights are refreshed incrementally — ``O(changed * K)`` for
+        ``K`` distinct keys — rather than rebuilt from scratch, so repeated
+        churn on wide histograms stays cheap; ``full_rebuild`` covers
+        wholesale edits (population restarts) where no small changed-key set
+        exists.
+        """
+        self.counter.n = self.n
+        self._count_alias = None
+        self.terminal = False
+        self.population_changes += 1
+        if self._prunes:
+            if full_rebuild:
+                self._rebuild_pair_weights()
+            else:
+                self._update_pair_weights(changed)
+            if self._active_weight <= 0:
+                # Churn may land on an already-stable configuration.
+                self.terminal = True
+        else:
+            self._check_dense_fixed_point()
+
+    def _sample_victim_keys(self, victims: int, rng: random.Random) -> List[Hashable]:
+        """Keys of ``victims`` distinct agents drawn uniformly at random.
+
+        Victim tickets index agents in an arbitrary but fixed key order and
+        are resolved against the current histogram in one cumulative pass —
+        exchangeability of the uniform choice makes the order irrelevant.
+        """
+        if victims < 0:
+            raise ConfigurationError("victims must be non-negative")
+        if victims > self.n:
+            raise ConfigurationError(
+                f"cannot draw {victims} distinct agents from a population of {self.n}"
+            )
+        tickets = sorted(rng.sample(range(self.n), victims))
+        victim_keys: List[Hashable] = []
+        cumulative = 0
+        ticket_index = 0
+        for key, count in self.counts.items():
+            cumulative += count
+            while ticket_index < len(tickets) and tickets[ticket_index] < cumulative:
+                victim_keys.append(key)
+                ticket_index += 1
+            if ticket_index == len(tickets):
+                break
+        return victim_keys
+
+    def join(self, count: int) -> Dict[str, Any]:
+        self._check_population(count)
+        counts = self.counts
+        changed: set = set()
+        for _ in range(count):
+            key = self.register_state(self.fresh_initial_state())
+            counts[key] += 1
+            changed.add(key)
+            if self.track_state_space:
+                self.state_space.observe(key)
+        self.n += count
+        self._population_changed(tuple(changed))
+        return {"joined": count, "n": self.n}
+
+    def leave(self, count: int, rng: random.Random, min_remaining: int = 2) -> Dict[str, Any]:
+        self._check_population(count)
+        if self.n - count < min_remaining:
+            raise ConfigurationError(
+                f"cannot remove {count} of {self.n} agents; at least "
+                f"{min_remaining} must remain"
+            )
+        counts = self.counts
+        changed: set = set()
+        for key in self._sample_victim_keys(count, rng):
+            counts[key] -= 1
+            if not counts[key]:
+                del counts[key]
+            changed.add(key)
+        self.n -= count
+        self._population_changed(tuple(changed))
+        return {"left": count, "n": self.n}
+
+    def restart_population(self) -> Dict[str, Any]:
+        protocol = self.protocol
+        if self._lifted is not None:
+            counts: Counter = Counter()
+            for agent_id in range(self.n):
+                counts[self._lifted.register(protocol.initial_state(agent_id))] += 1
+            self.counts = counts
+        else:
+            self.counts = Counter(protocol.initial_key_counts(self.n))
+        if self.track_state_space:
+            for key in self.counts:
+                self.state_space.observe(key)
+        self._population_changed(full_rebuild=True)
+        return {"restarted": self.n, "n": self.n}
+
+    def skip_to(self, target: int) -> None:
+        super().skip_to(target)
+        self.counter.total = self.interactions
+
     # ----------------------------------------------------- failure injection
     def corrupt_histogram(
         self,
@@ -675,27 +941,8 @@ class BatchBackend(Backend):
         afterwards.  Returns the number of agents whose key actually
         changed.
         """
-        if victims < 0:
-            raise ConfigurationError("victims must be non-negative")
-        if victims > self.n:
-            raise ConfigurationError(
-                f"cannot corrupt {victims} distinct agents in a population of {self.n}"
-            )
         counts = self.counts
-        # Resolve all victim tickets against the pre-corruption histogram in
-        # one cumulative pass (tickets index agents in an arbitrary but fixed
-        # key order, which is exchangeable under the uniform choice).
-        tickets = sorted(rng.sample(range(self.n), victims))
-        victim_keys: List[Hashable] = []
-        cumulative = 0
-        ticket_index = 0
-        for key, count in counts.items():
-            cumulative += count
-            while ticket_index < len(tickets) and tickets[ticket_index] < cumulative:
-                victim_keys.append(key)
-                ticket_index += 1
-            if ticket_index == len(tickets):
-                break
+        victim_keys = self._sample_victim_keys(victims, rng)
         changed = 0
         for key in victim_keys:
             new_key = rewrite(key, rng)

@@ -36,6 +36,8 @@ __all__ = [
     "all_outputs_satisfy",
     "fraction_outputs_satisfy",
     "outputs_in",
+    "outputs_within_spread",
+    "accuracy_fraction",
     "ConvergenceTracker",
 ]
 
@@ -146,6 +148,60 @@ def outputs_in(allowed: Iterable[Any]) -> OutputPredicate:
 
     predicate.__name__ = f"outputs_in({sorted(map(repr, allowed_set))})"
     return predicate
+
+
+def outputs_within_spread(width: int) -> OutputPredicate:
+    """Predicate: the numeric outputs span at most ``width`` (max − min).
+
+    The acceptance condition of the load-balancing processes ([10], Lemma 8):
+    a discrepancy of at most ``width`` between the most and least loaded
+    agents.  ``width=0`` degenerates to :func:`all_outputs_equal`.
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+
+    def predicate(outputs: OutputsView) -> bool:
+        lowest: Optional[Any] = None
+        highest: Optional[Any] = None
+        for value, _count in output_items(outputs):
+            if lowest is None or value < lowest:
+                lowest = value
+            if highest is None or value > highest:
+                highest = value
+        return lowest is not None and highest - lowest <= width
+
+    predicate.__name__ = f"outputs_within_spread({width})"
+    # Spread is a whole-population property: a singleton histogram always
+    # passes, so per-agent accuracy against this predicate is meaningless.
+    predicate.value_wise = False
+    return predicate
+
+
+def accuracy_fraction(
+    outputs: OutputsView, predicate: OutputPredicate
+) -> Optional[float]:
+    """Fraction of agents whose output alone satisfies ``predicate``.
+
+    The per-agent recovery-accuracy measure of the scenario subsystem: after
+    a churn event the acceptance predicate is re-derived for the *new* true
+    population size, and this function reports how much of the population
+    already agrees with it.  Each output value is tested as a singleton
+    histogram, which value-wise predicates (equality, membership, per-output
+    checks) interpret as intended.  Predicates that are only meaningful on
+    whole populations declare ``value_wise = False`` (e.g.
+    :func:`outputs_within_spread`, whose singleton evaluation would be
+    vacuously true); for those this function returns ``None`` instead of a
+    fabricated 1.0.
+    """
+    if getattr(predicate, "value_wise", True) is False:
+        return None
+    good = 0
+    total = 0
+    for value, count in output_items(outputs):
+        total += count
+        if predicate({value: count}):
+            good += count
+    return good / total if total else 0.0
 
 
 @dataclass

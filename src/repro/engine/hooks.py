@@ -9,7 +9,8 @@ deliberate, documented break of uniformity confined to the analysis layer).
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Hashable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Optional
 
 from .errors import ConfigurationError
 from .rng import SeedLike, make_rng
@@ -17,7 +18,41 @@ from .rng import SeedLike, make_rng
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
     from .simulator import Simulator
 
-__all__ = ["Hook", "CallbackHook", "FailureInjectionHook"]
+__all__ = ["Hook", "CallbackHook", "FailureInjectionHook", "TimelineEvent"]
+
+
+@dataclass
+class TimelineEvent:
+    """A scheduled intervention in a running simulation.
+
+    The simulator applies the event once its interaction counter reaches
+    ``at``: it stops the chain exactly there (truncating any pending
+    geometric skip, which is exact by memorylessness), calls ``apply`` with
+    the simulator, and resumes.  Events drive the dynamic-population
+    scenarios: churn (``backend.join`` / ``leave`` / ``replace``), restarts,
+    fault campaigns, and scheduler reconfiguration are all expressed as
+    timeline events.
+
+    Attributes:
+        at: Interaction index at which the event fires.  Events scheduled at
+            or beyond the interaction budget never fire (they are reported as
+            unfired in the run's ``extra["timeline"]``).
+        kind: Machine-readable event category (``"join"``, ``"leave"``, …).
+        apply: Callable receiving the simulator; performs the intervention
+            and returns a JSON-friendly dict of details for the run record.
+        label: Human-readable tag carried into records (defaults to *kind*).
+    """
+
+    at: int
+    kind: str
+    apply: Callable[["Simulator"], Dict[str, Any]]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("timeline events cannot fire before interaction 0")
+        if not self.label:
+            self.label = self.kind
 
 
 class Hook:
@@ -77,6 +112,17 @@ class Hook:
     def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
         """Called whenever the simulator evaluates its convergence predicate."""
 
+    def on_timeline_event(
+        self, simulator: "Simulator", event: "TimelineEvent", record: Dict[str, Any]
+    ) -> None:
+        """Called after a timeline event was applied to the simulation.
+
+        ``record`` is the JSON-friendly event record (``at``, ``kind``,
+        ``label``, ``n_after``, the ``apply`` details) that will land in the
+        run's ``extra["timeline"]``; hooks may annotate it in place — the
+        scenario subsystem's invariant tracker adds its measurements here.
+        """
+
     def on_end(self, simulator: "Simulator") -> None:
         """Called once when a run finishes (for any reason)."""
 
@@ -98,6 +144,9 @@ class CallbackHook(Hook):
             Callable[["Simulator", Hashable, Hashable, Hashable, Hashable], None]
         ] = None,
         before_checkpoint: Optional[Callable[["Simulator"], None]] = None,
+        on_timeline_event: Optional[
+            Callable[["Simulator", "TimelineEvent", Dict[str, Any]], None]
+        ] = None,
     ) -> None:
         self._on_start = on_start
         self._before = before_interaction
@@ -106,6 +155,7 @@ class CallbackHook(Hook):
         self._on_end = on_end
         self._on_batch_event = on_batch_event
         self._before_checkpoint = before_checkpoint
+        self._on_timeline_event = on_timeline_event
 
     def on_start(self, simulator: "Simulator") -> None:
         if self._on_start:
@@ -137,6 +187,12 @@ class CallbackHook(Hook):
     def on_checkpoint(self, simulator: "Simulator", satisfied: bool) -> None:
         if self._on_checkpoint:
             self._on_checkpoint(simulator, satisfied)
+
+    def on_timeline_event(
+        self, simulator: "Simulator", event: TimelineEvent, record: Dict[str, Any]
+    ) -> None:
+        if self._on_timeline_event:
+            self._on_timeline_event(simulator, event, record)
 
     def on_end(self, simulator: "Simulator") -> None:
         if self._on_end:

@@ -100,6 +100,18 @@ class InteractionCounter:
         self.per_agent[responder] += 1
         self.initiated[initiator] += 1
 
+    def add_agent(self) -> None:
+        """Extend the per-agent arrays for one agent joining the population."""
+        self.per_agent.append(0)
+        self.initiated.append(0)
+
+    def remove_agent(self, index: int) -> None:
+        """Drop agent ``index`` by swap-removal (mirrors the backend's order)."""
+        self.per_agent[index] = self.per_agent[-1]
+        self.per_agent.pop()
+        self.initiated[index] = self.initiated[-1]
+        self.initiated.pop()
+
     @property
     def min_participation(self) -> int:
         """Smallest number of interactions any single agent participated in."""

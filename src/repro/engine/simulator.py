@@ -22,12 +22,12 @@ import math
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .backends import BACKEND_NAMES, AgentBackend, Backend, BatchBackend
 from .convergence import ConvergenceTracker, OutputPredicate
 from .errors import ConfigurationError, SimulationError, UniformityError
-from .hooks import Hook
+from .hooks import Hook, TimelineEvent
 from .metrics import InteractionCounter, StateSpaceTracker
 from .protocol import Protocol
 from .rng import SeedLike, make_rng
@@ -228,7 +228,10 @@ class Simulator:
                 f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
             )
         self.protocol = protocol
-        self.n = n
+        #: Population size the simulator was constructed with; the current
+        #: size is the (dynamic) :attr:`n` property, which timeline churn
+        #: events may change mid-run.
+        self.initial_n = n
         self.seed = seed
         self.hooks: List[Hook] = list(hooks)
         self._scheduler_rng = make_rng(seed, "scheduler")
@@ -279,6 +282,12 @@ class Simulator:
             )
 
     # --------------------------------------------------------------- backend
+    @property
+    def n(self) -> int:
+        """Current population size (timeline churn events change it mid-run)."""
+        backend = getattr(self, "_backend", None)
+        return backend.n if backend is not None else self.initial_n
+
     @property
     def backend(self) -> Backend:
         """The execution backend driving this simulator."""
@@ -379,6 +388,9 @@ class Simulator:
         stop_when_converged: bool = True,
         confirm_checks: int = 3,
         require_convergence: bool = False,
+        timeline: Sequence[TimelineEvent] = (),
+        convergence_factory: Optional[Callable[["Simulator"], OutputPredicate]] = None,
+        max_wall_time_s: Optional[float] = None,
     ) -> SimulationResult:
         """Run the simulation and return a :class:`SimulationResult`.
 
@@ -392,13 +404,33 @@ class Simulator:
                 :mod:`repro.engine.convergence` accept both.  When omitted,
                 the run simply exhausts its budget.
             check_interval: How often (in interactions) the predicate is
-                evaluated.  Defaults to ``n`` (one parallel-time unit).
+                evaluated.  Defaults to the *initial* ``n`` (one parallel-time
+                unit); the cadence stays fixed through churn so checkpoint
+                series remain comparable across a timeline.
             stop_when_converged: Stop early once the predicate has held for
-                ``confirm_checks`` consecutive checkpoints.
+                ``confirm_checks`` consecutive checkpoints.  With a timeline,
+                early stopping only applies after the last event — an already-
+                converged population must keep running into its next
+                disturbance.
             confirm_checks: Number of consecutive satisfied checkpoints
                 required before an early stop.
             require_convergence: Raise :class:`SimulationError` if the budget
                 is exhausted without the predicate holding at the end.
+            timeline: Scheduled :class:`~repro.engine.hooks.TimelineEvent`
+                interventions (churn, fault campaigns, scheduler changes).
+                The run is split into *segments* at the event boundaries;
+                each segment gets its own convergence accounting, and the
+                per-segment records (including the recovery time after each
+                event) land in ``extra["segments"]`` / ``extra["timeline"]``.
+            convergence_factory: Alternative to ``convergence``: a callable
+                receiving the simulator and returning the predicate.  It is
+                re-invoked after every timeline event, so acceptance criteria
+                that depend on the population size track the *new* true ``n``
+                through churn.  Mutually exclusive with ``convergence``.
+            max_wall_time_s: Wall-clock budget for this run.  Checked between
+                checkpoints and advance windows; when exceeded the run stops
+                with ``stopped_reason="wall-time"`` (the experiment layer's
+                per-cell timeout enforcement).
         """
         budget = max_interactions if max_interactions is not None else default_interaction_budget(self.n)
         if budget < 0:
@@ -408,63 +440,165 @@ class Simulator:
             raise ConfigurationError("check_interval must be positive")
         if confirm_checks < 1:
             raise ConfigurationError("confirm_checks must be at least 1")
+        if convergence is not None and convergence_factory is not None:
+            raise ConfigurationError(
+                "pass either convergence or convergence_factory, not both"
+            )
+        if max_wall_time_s is not None and max_wall_time_s <= 0:
+            raise ConfigurationError("max_wall_time_s must be positive")
+        events = sorted(timeline, key=lambda event: event.at)
 
         backend = self._backend
+        predicate = (
+            convergence_factory(self) if convergence_factory is not None else convergence
+        )
         tracker = ConvergenceTracker()
         started = time.perf_counter()
+        deadline = started + max_wall_time_s if max_wall_time_s is not None else None
         stopped_reason = "budget"
         # Interaction index of the last evaluated checkpoint; guards against
         # double-recording the final configuration when the budget is aligned
         # with the check cadence.
         last_checked = 0
+        event_index = 0
+        segment_start = 0
+        segment_event: Optional[Dict[str, Any]] = None  # record of the opening event
+        timeline_records: List[Dict[str, Any]] = []
+        segment_records: List[Dict[str, Any]] = []
+        checks_before = 0  # checkpoint totals of already-closed segments
+        satisfied_before = 0
         for hook in self.hooks:
             hook.on_start(self)
 
-        while backend.interactions < budget:
-            if convergence is not None:
-                next_stop = min(budget, (backend.interactions // cadence + 1) * cadence)
-            else:
-                next_stop = budget
-            backend.advance_to(next_stop)
-            if (
-                convergence is not None
-                and backend.interactions % cadence == 0
-                and backend.interactions != last_checked
-            ):
-                for hook in self.hooks:
-                    hook.before_checkpoint(self)
-                satisfied = convergence(backend.convergence_view())
-                tracker.record(last_checked + 1, satisfied)
-                last_checked = backend.interactions
-                for hook in self.hooks:
-                    hook.on_checkpoint(self, satisfied)
-                if (
-                    stop_when_converged
-                    and satisfied
-                    and tracker.current_streak >= confirm_checks
-                ):
-                    stopped_reason = "converged"
+        def evaluate_checkpoint() -> bool:
+            nonlocal last_checked
+            for hook in self.hooks:
+                hook.before_checkpoint(self)
+            satisfied = predicate(backend.convergence_view())
+            tracker.record(last_checked + 1, satisfied)
+            last_checked = backend.interactions
+            for hook in self.hooks:
+                hook.on_checkpoint(self, satisfied)
+            return satisfied
+
+        def close_segment() -> None:
+            converged_here = tracker.currently_satisfied
+            streak_start = tracker.convergence_interaction if converged_here else None
+            record = {
+                "start": segment_start,
+                "end": backend.interactions,
+                "n": self.n,
+                "opened_by": segment_event["label"] if segment_event else None,
+                "checks": tracker.checks,
+                "converged": converged_here,
+                "convergence_interaction": streak_start,
+                "recovery_interactions": (
+                    streak_start - segment_start
+                    if converged_here and segment_event is not None
+                    else None
+                ),
+            }
+            segment_records.append(record)
+            if segment_event is not None:
+                segment_event["reconverged"] = converged_here
+                segment_event["recovery_interactions"] = record["recovery_interactions"]
+
+        while True:
+            next_event_at: Optional[int] = None
+            if event_index < len(events) and events[event_index].at < budget:
+                next_event_at = events[event_index].at
+            final_segment = next_event_at is None
+            segment_end = budget if final_segment else next_event_at
+
+            while backend.interactions < segment_end:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    stopped_reason = "wall-time"
                     break
-            if backend.terminal:
-                stopped_reason = "terminal"
+                if predicate is not None:
+                    next_stop = min(
+                        segment_end, (backend.interactions // cadence + 1) * cadence
+                    )
+                else:
+                    next_stop = segment_end
+                backend.advance_to(next_stop)
+                if (
+                    predicate is not None
+                    and backend.interactions % cadence == 0
+                    and backend.interactions != last_checked
+                ):
+                    satisfied = evaluate_checkpoint()
+                    if (
+                        final_segment
+                        and stop_when_converged
+                        and satisfied
+                        and tracker.current_streak >= confirm_checks
+                    ):
+                        stopped_reason = "converged"
+                        break
+                if backend.terminal:
+                    if final_segment:
+                        stopped_reason = "terminal"
+                        break
+                    # The configuration is provably frozen until the next
+                    # event re-activates it; skipping the window is exact.
+                    # One synthetic checkpoint records the frozen state (and
+                    # lets checkpoint-triggered hooks fire, which may undo
+                    # the terminality).
+                    backend.skip_to(segment_end)
+                    if predicate is not None and backend.interactions != last_checked:
+                        evaluate_checkpoint()
+            if stopped_reason != "budget" or final_segment:
                 break
+
+            # Apply the pending timeline event and open a new segment.  One
+            # extra checkpoint pins down the pre-event configuration so the
+            # closing segment's convergence state is exact at the boundary.
+            event = events[event_index]
+            event_index += 1
+            if predicate is not None and backend.interactions != last_checked:
+                evaluate_checkpoint()
+            close_segment()
+            details = event.apply(self)
+            event_record: Dict[str, Any] = {
+                "at": event.at,
+                "kind": event.kind,
+                "label": event.label,
+                "fired": True,
+                "n_after": self.n,
+                "details": details,
+            }
+            timeline_records.append(event_record)
+            for hook in self.hooks:
+                hook.on_timeline_event(self, event, event_record)
+            if convergence_factory is not None:
+                predicate = convergence_factory(self)
+            checks_before += tracker.checks
+            satisfied_before += tracker.satisfied_checks
+            tracker = ConvergenceTracker()
+            segment_start = event.at
+            segment_event = event_record
 
         converged = False
         convergence_interaction: Optional[int] = None
-        if convergence is not None:
+        if predicate is not None:
             if backend.interactions != last_checked or tracker.checks == 0:
-                final_satisfied = convergence(backend.convergence_view())
+                final_satisfied = predicate(backend.convergence_view())
                 tracker.record(last_checked + 1, final_satisfied)
             converged = tracker.currently_satisfied
             convergence_interaction = tracker.convergence_interaction if converged else None
             if converged and stopped_reason == "budget":
                 stopped_reason = "converged-at-budget"
+        close_segment()
+        for event in events[event_index:]:
+            timeline_records.append(
+                {"at": event.at, "kind": event.kind, "label": event.label, "fired": False}
+            )
         wall = time.perf_counter() - started
 
         for hook in self.hooks:
             hook.on_end(self)
 
-        if require_convergence and convergence is not None and not converged:
+        if require_convergence and predicate is not None and not converged:
             raise SimulationError(
                 f"protocol {self.protocol.name!r} (n={self.n}, seed={self.seed!r}) did not "
                 f"converge within {budget} interactions"
@@ -474,10 +608,16 @@ class Simulator:
         extra: Dict[str, Any] = {
             "backend": backend.name,
             "transition_calls": backend.transition_calls,
-            "convergence_checks": tracker.checks,
-            "satisfied_checks": tracker.satisfied_checks,
+            "convergence_checks": checks_before + tracker.checks,
+            "satisfied_checks": satisfied_before + tracker.satisfied_checks,
             "participation_tracked": isinstance(backend, AgentBackend),
         }
+        if events:
+            extra["initial_n"] = self.initial_n
+            extra["timeline"] = timeline_records
+            extra["segments"] = segment_records
+        if stopped_reason == "wall-time":
+            extra["wall_time_exceeded"] = True
         if isinstance(backend, AgentBackend) or self.n <= OUTPUT_LIST_LIMIT:
             outputs = backend.outputs()
         else:
@@ -515,6 +655,9 @@ def simulate(
     require_convergence: bool = False,
     require_uniform: bool = False,
     backend: str = "agent",
+    timeline: Sequence[TimelineEvent] = (),
+    convergence_factory: Optional[Callable[[Simulator], OutputPredicate]] = None,
+    max_wall_time_s: Optional[float] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper: construct a :class:`Simulator` and run it.
 
@@ -538,4 +681,7 @@ def simulate(
         stop_when_converged=stop_when_converged,
         confirm_checks=confirm_checks,
         require_convergence=require_convergence,
+        timeline=timeline,
+        convergence_factory=convergence_factory,
+        max_wall_time_s=max_wall_time_s,
     )

@@ -33,6 +33,7 @@ from .artifacts import (
     write_sweep,
 )
 from .builtin import builtin_specs, resolve_builtin
+from .plot import render_sweep_plot, write_png_plot
 from .registry import PROTOCOLS
 from .runner import SweepRunner
 from .spec import SweepSpec
@@ -112,6 +113,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--seed", type=int, default=None, help="override the spec's root seed"
     )
     parser.add_argument(
+        "--plot",
+        action="store_true",
+        help=(
+            "render an ASCII log-log plot of the fitted scaling curve "
+            "(and write SWEEP_<name>.png when matplotlib is available)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
     )
     args = parser.parse_args(argv)
@@ -165,6 +174,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"scaling fit: convergence interactions ~ n^{fit['exponent']:.3f} "
             f"(r^2 {fit['r_squared']:.4f}, {fit['points']} sizes)"
         )
+    if args.plot:
+        print(render_sweep_plot(document))
+        png_path = os.path.join(args.output_dir, f"SWEEP_{spec.name}.png")
+        written = write_png_plot(document, png_path)
+        if written:
+            print(f"wrote {written}")
+        else:
+            print("(matplotlib not available; skipped the PNG plot)")
     failed = document["failed_cells"]
     print(
         f"wrote {paths['json']} and {paths['csv']} "

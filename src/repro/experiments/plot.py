@@ -1,0 +1,193 @@
+"""Dependency-free plotting of sweep scaling curves.
+
+``repro-sweep --plot`` renders the fitted scaling relationship (mean
+interactions-to-convergence versus population size) as an ASCII log-log
+scatter straight to the terminal, so the shape of a curve can be checked on
+any machine the sweep ran on.  When :mod:`matplotlib` happens to be
+installed, a PNG is written next to the JSON artifact as well — the library
+is detected at call time and never required (the core library stays
+dependency-free).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_loglog", "sweep_plot_points", "render_sweep_plot", "write_png_plot"]
+
+Point = Tuple[float, float, str]  # (x, y, series label)
+
+
+def sweep_plot_points(
+    document: Dict[str, Any], measure: str = "convergence_interactions"
+) -> List[Point]:
+    """Extract the ``(n, mean, series)`` points of one measure from an artifact.
+
+    One series per parameter variant: the cell id with the ``-n<size>``
+    suffix stripped, so ``param_grid`` sweeps plot one curve per variant.
+    """
+    points: List[Point] = []
+    for cell in document.get("cells", ()):
+        if cell.get("error"):
+            continue
+        stats = cell.get("stats") or {}
+        summary = stats.get(measure)
+        if not summary or summary.get("mean") in (None, 0):
+            continue
+        series = str(cell["cell_id"]).rsplit(f"-n{cell['n']}", 1)[0]
+        points.append((float(cell["n"]), float(summary["mean"]), series))
+    return points
+
+
+_MARKS = "ox+*#@"
+
+
+def ascii_loglog(
+    points: Sequence[Point],
+    fit: Optional[Dict[str, float]] = None,
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "n",
+    ylabel: str = "interactions",
+) -> str:
+    """Render a log-log scatter (plus an optional power-law fit) as ASCII.
+
+    ``points`` are positive ``(x, y, series)`` triples; each series gets its
+    own marker.  ``fit`` is the :func:`repro.experiments.aggregate.fit_power_law`
+    record whose line ``y = c * x^b`` is drawn with ``.`` characters.
+    """
+    usable = [(x, y, s) for x, y, s in points if x > 0 and y > 0]
+    if not usable:
+        return "(no plottable points)"
+    xs = [math.log10(x) for x, _y, _s in usable]
+    ys = [math.log10(y) for _x, y, _s in usable]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    # Pad degenerate (single-column/row) ranges so positions stay in-grid.
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    x_low -= 0.05 * x_span
+    x_high += 0.05 * x_span
+    y_low -= 0.08 * y_span
+    y_high += 0.08 * y_span
+
+    def column(log_x: float) -> int:
+        return int((log_x - x_low) / (x_high - x_low) * (width - 1))
+
+    def row(log_y: float) -> int:
+        # Row 0 is the top of the plot.
+        return (height - 1) - int((log_y - y_low) / (y_high - y_low) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    if fit:
+        coefficient = fit.get("coefficient", 0.0)
+        exponent = fit.get("exponent", 0.0)
+        if coefficient > 0:
+            log_c = math.log10(coefficient)
+            for col in range(width):
+                log_x = x_low + col / (width - 1) * (x_high - x_low)
+                log_y = log_c + exponent * log_x
+                if y_low <= log_y <= y_high:
+                    grid[row(log_y)][col] = "."
+    series_order: List[str] = []
+    for x, y, series in usable:
+        if series not in series_order:
+            series_order.append(series)
+        mark = _MARKS[series_order.index(series) % len(_MARKS)]
+        grid[row(math.log10(y))][column(math.log10(x))] = mark
+
+    lines: List[str] = []
+    top_tick = f"{10 ** y_high:.2e}"
+    bottom_tick = f"{10 ** y_low:.2e}"
+    margin = max(len(top_tick), len(bottom_tick), len(ylabel) + 1)
+    lines.append(f"{ylabel:>{margin}} (log)")
+    for index, grid_row in enumerate(grid):
+        if index == 0:
+            prefix = f"{top_tick:>{margin}}"
+        elif index == height - 1:
+            prefix = f"{bottom_tick:>{margin}}"
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(grid_row)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    left_tick = f"{10 ** x_low:.3g}"
+    right_tick = f"{10 ** x_high:.3g}"
+    gap = max(1, width - len(left_tick) - len(right_tick))
+    lines.append(f"{' ' * margin}  {left_tick}{' ' * gap}{right_tick}  {xlabel} (log)")
+    legend = "  ".join(
+        f"{_MARKS[index % len(_MARKS)]} {series}"
+        for index, series in enumerate(series_order)
+    )
+    lines.append(f"{' ' * margin}  {legend}")
+    if fit:
+        lines.append(
+            f"{' ' * margin}  fit: {ylabel} ~ "
+            f"{fit.get('coefficient', float('nan')):.3g} * {xlabel}^"
+            f"{fit.get('exponent', float('nan')):.3f} "
+            f"(r^2 {fit.get('r_squared', float('nan')):.4f}, . line)"
+        )
+    return "\n".join(lines)
+
+
+def render_sweep_plot(
+    document: Dict[str, Any], measure: str = "convergence_interactions"
+) -> str:
+    """ASCII plot of one measure of a ``SWEEP_*.json``-style document."""
+    points = sweep_plot_points(document, measure)
+    fit = (document.get("fits") or {}).get(measure)
+    header = f"{document.get('name', 'sweep')}: mean {measure} vs n"
+    return header + "\n" + ascii_loglog(points, fit, ylabel=measure.replace("_", " "))
+
+
+def write_png_plot(
+    document: Dict[str, Any],
+    path: str,
+    measure: str = "convergence_interactions",
+) -> Optional[str]:
+    """Write a PNG of the scaling curve when matplotlib is available.
+
+    Returns the path on success and ``None`` when matplotlib is missing —
+    the caller treats the PNG as strictly optional.
+    """
+    try:  # pragma: no cover - depends on the host environment
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+    points = sweep_plot_points(document, measure)
+    if not points:
+        return None
+    figure, axes = plt.subplots(figsize=(6.0, 4.5))
+    by_series: Dict[str, List[Tuple[float, float]]] = {}
+    for x, y, series in points:
+        by_series.setdefault(series, []).append((x, y))
+    for series, series_points in by_series.items():
+        series_points.sort()
+        axes.loglog(
+            [x for x, _y in series_points],
+            [y for _x, y in series_points],
+            marker="o",
+            linestyle="-",
+            label=series,
+        )
+    fit = (document.get("fits") or {}).get(measure)
+    if fit and fit.get("coefficient", 0) > 0:
+        xs = sorted({x for x, _y, _s in points})
+        axes.loglog(
+            xs,
+            [fit["coefficient"] * x ** fit["exponent"] for x in xs],
+            linestyle="--",
+            color="gray",
+            label=f"fit n^{fit['exponent']:.3f}",
+        )
+    axes.set_xlabel("n")
+    axes.set_ylabel(f"mean {measure.replace('_', ' ')}")
+    axes.set_title(document.get("name", "sweep"))
+    axes.legend(fontsize="small")
+    figure.tight_layout()
+    figure.savefig(path, dpi=150)
+    plt.close(figure)
+    return path

@@ -33,11 +33,13 @@ from ..engine.convergence import (
     all_outputs_equal,
     output_items,
     outputs_in,
+    outputs_within_spread,
 )
 from ..engine.errors import ConfigurationError
 from ..engine.protocol import Protocol
 from ..primitives.epidemic import OneWayEpidemic
 from ..primitives.junta import JuntaProtocol
+from ..primitives.load_balancing import ClassicalLoadBalancing
 
 __all__ = ["ProtocolEntry", "PROTOCOLS", "resolve_protocol", "protocol_names"]
 
@@ -90,6 +92,16 @@ def _build_junta(n: int, params: Dict[str, Any]) -> Protocol:
     return JuntaProtocol()
 
 
+def _build_load_balancing(n: int, params: Dict[str, Any]) -> Protocol:
+    # The input configuration is a single pile of ``tokens_per_agent * n``
+    # tokens on one agent — the hardest instance of [10], and the one whose
+    # recovery after churn the scenario subsystem measures.
+    tokens = int(params.get("tokens_per_agent", 4))
+    if tokens < 1:
+        raise ConfigurationError("tokens_per_agent must be at least 1")
+    return ClassicalLoadBalancing([tokens * n])
+
+
 def _log_targets(n: int, params: Dict[str, Any]) -> OutputPredicate:
     return outputs_in(log_estimate_targets(n))
 
@@ -104,6 +116,12 @@ def _floor_log(n: int, params: Dict[str, Any]) -> OutputPredicate:
 
 def _epidemic_consensus(n: int, params: Dict[str, Any]) -> OutputPredicate:
     return all_outputs_equal(int(params.get("source_value", 1)))
+
+
+def _balanced(n: int, params: Dict[str, Any]) -> OutputPredicate:
+    # [10]: the discrepancy drops to O(1); floor/ceil of the mean coexist, so
+    # a spread of 1 is the exact stable acceptance condition.
+    return outputs_within_spread(int(params.get("max_discrepancy", 1)))
 
 
 def _all_inactive(n: int, params: Dict[str, Any]) -> OutputPredicate:
@@ -196,6 +214,12 @@ PROTOCOLS: Dict[str, ProtocolEntry] = {
             _build_junta,
             _all_inactive,
             "Lemma 4 baseline: junta election stabilises in O(n log n)",
+        ),
+        ProtocolEntry(
+            "classical-load-balancing",
+            _build_load_balancing,
+            _balanced,
+            "[10] baseline: single pile spreads to discrepancy <= 1 in O(n log n)",
         ),
     )
 }

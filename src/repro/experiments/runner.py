@@ -26,9 +26,47 @@ from .aggregate import cell_stats
 from .registry import resolve_protocol
 from .spec import SweepCell, SweepSpec
 
-__all__ = ["SweepRunner", "execute_cell"]
+__all__ = ["SweepRunner", "execute_cell", "run_cell_seeds"]
 
 Progress = Optional[Callable[[str], None]]
+
+
+def _timeout_message(cell_id: str, completed: int, total: int, timeout: float) -> str:
+    return (
+        f"cell {cell_id} exceeded its wall-time budget of {timeout:g}s "
+        f"after {completed} of {total} runs"
+    )
+
+
+def run_cell_seeds(
+    cell_id: str,
+    seeds: List[Any],
+    timeout: Optional[float],
+    started: float,
+    run_one: Callable[[Any, Optional[float]], Dict[str, Any]],
+) -> "tuple[List[Dict[str, Any]], Optional[str]]":
+    """Run a cell's seeded repetitions under an optional wall-time budget.
+
+    ``run_one(seed, remaining_s)`` executes one run and returns its record
+    (which must expose ``stopped_reason``); the remaining budget is threaded
+    into every run so the simulator stops with ``stopped_reason="wall-time"``
+    rather than overrunning.  Returns ``(runs, error)``: on a budget overrun
+    the completed runs are preserved and ``error`` carries the timeout
+    record.  Shared by the sweep and scenario cell executors so both produce
+    identical timeout records.
+    """
+    runs: List[Dict[str, Any]] = []
+    for seed in seeds:
+        remaining: Optional[float] = None
+        if timeout is not None:
+            remaining = timeout - (time.perf_counter() - started)
+            if remaining <= 0:
+                return runs, _timeout_message(cell_id, len(runs), len(seeds), timeout)
+        run = run_one(seed, remaining)
+        runs.append(run)
+        if run.get("stopped_reason") == "wall-time":
+            return runs, _timeout_message(cell_id, len(runs), len(seeds), timeout)
+    return runs, None
 
 
 def _cell_payload(spec: SweepSpec, cell: SweepCell) -> Dict[str, Any]:
@@ -43,6 +81,7 @@ def _cell_payload(spec: SweepSpec, cell: SweepCell) -> Dict[str, Any]:
         "budget": spec.budget.budget(cell.n),
         "check_interval": spec.check_interval(cell.n),
         "confirm_checks": spec.confirm_checks,
+        "cell_timeout_s": spec.cell_timeout_s,
     }
 
 
@@ -51,9 +90,14 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Returns the cell record embedded into the ``SWEEP_*.json`` artifact.
     Exceptions are converted into the record's ``error`` field so a single
-    failing cell cannot take down the whole sweep.
+    failing cell cannot take down the whole sweep.  A ``cell_timeout_s``
+    wall-time budget is threaded into every run and enforced between runs:
+    a cell that exceeds it keeps its completed runs but is marked failed
+    with a timeout record (``--resume`` re-runs it) instead of hanging the
+    sweep.
     """
     started = time.perf_counter()
+    timeout = payload.get("cell_timeout_s")
     record: Dict[str, Any] = {
         "cell_id": payload["cell_id"],
         "n": payload["n"],
@@ -67,8 +111,8 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         entry = resolve_protocol(payload["protocol"])
         n = payload["n"]
         params = payload["params"]
-        runs: List[Dict[str, Any]] = []
-        for seed in payload["seeds"]:
+
+        def run_one(seed: Any, remaining: Optional[float]) -> Dict[str, Any]:
             protocol = entry.build(n, params)
             convergence = entry.convergence(n, params) if entry.convergence else None
             result = simulate(
@@ -80,12 +124,19 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 max_interactions=payload["budget"],
                 check_interval=payload["check_interval"],
                 confirm_checks=payload["confirm_checks"],
+                max_wall_time_s=remaining,
             )
             # The engine's artifact serialisation hook: summary plus the
             # output histogram, state-space summary, and extra payload.
-            runs.append(result.as_json_dict())
+            return result.as_json_dict()
+
+        runs, error = run_cell_seeds(
+            payload["cell_id"], payload["seeds"], timeout, started, run_one
+        )
         record["runs"] = runs
-        record["stats"] = cell_stats(n, runs)
+        record["error"] = error
+        if error is None:
+            record["stats"] = cell_stats(n, runs)
     except Exception:  # noqa: BLE001 - captured into the artifact by design
         record["error"] = traceback.format_exc()
     record["wall_time_s"] = round(time.perf_counter() - started, 3)
@@ -101,7 +152,16 @@ class SweepRunner:
             Values below 2 run serially in-process (the fallback path, also
             taken automatically when the pool cannot be created).
         progress: Optional line-oriented progress callback.
+
+    The fan-out machinery is reusable by other cell-shaped experiment
+    subsystems: subclasses override the :attr:`executor` worker entry point
+    (a picklable module-level function) and :meth:`payloads` — the scenario
+    runner of :mod:`repro.scenarios` plugs into the same pool this way.
     """
+
+    #: Worker entry point mapped over the payloads (must be a module-level
+    #: function so the ``spawn`` pool can pickle it by reference).
+    executor = staticmethod(execute_cell)
 
     def __init__(
         self,
@@ -112,6 +172,10 @@ class SweepRunner:
         self.spec = spec
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.progress = progress
+
+    def payloads(self, cells: List[Any]) -> List[Dict[str, Any]]:
+        """Build the picklable worker payload for each pending cell."""
+        return [_cell_payload(self.spec, cell) for cell in cells]
 
     def _report(self, line: str) -> None:
         if self.progress:
@@ -133,7 +197,7 @@ class SweepRunner:
             )
         if not pending:
             return []
-        payloads = [_cell_payload(self.spec, cell) for cell in pending]
+        payloads = self.payloads(pending)
         if self.workers >= 2 and len(payloads) > 1:
             records = self._run_parallel(payloads)
         else:
@@ -145,9 +209,10 @@ class SweepRunner:
     # ----------------------------------------------------------- strategies
     def _run_serial(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         records = []
+        executor = type(self).executor
         for payload in payloads:
             self._report(f"cell {payload['cell_id']} (n={payload['n']}) ...")
-            record = execute_cell(payload)
+            record = executor(payload)
             self._report(_outcome_line(record))
             records.append(record)
         return records
@@ -161,7 +226,7 @@ class SweepRunner:
             context = multiprocessing.get_context("spawn")
             with context.Pool(processes=workers) as pool:
                 records = []
-                for record in pool.imap_unordered(execute_cell, payloads):
+                for record in pool.imap_unordered(type(self).executor, payloads):
                     self._report(_outcome_line(record))
                     records.append(record)
                 return records

@@ -21,7 +21,7 @@ from ..engine.errors import ConfigurationError
 from ..engine.rng import SeedLike, derive_seed
 from .registry import resolve_protocol
 
-__all__ = ["BudgetPolicy", "SweepCell", "SweepSpec"]
+__all__ = ["BudgetPolicy", "GridSpec", "SweepCell", "SweepSpec", "policy_from"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,118 @@ class BudgetPolicy:
         if n < 2:
             raise ConfigurationError("population size must be at least 2")
         return int(self.factor * n ** self.n_exponent * max(1.0, math.log2(n)) ** self.log_exponent)
+
+
+def policy_from(value: Any, context: str) -> BudgetPolicy:
+    """Coerce a :class:`BudgetPolicy` or its JSON dict form, with validation."""
+    if isinstance(value, BudgetPolicy):
+        return value
+    if isinstance(value, dict):
+        try:
+            return BudgetPolicy(**value)
+        except TypeError as error:
+            raise ConfigurationError(f"invalid {context}: {error}") from None
+    raise ConfigurationError(f"{context} must be a factor/exponent object")
+
+
+class GridSpec:
+    """Shared machinery of the declarative grid specs (sweeps, scenarios).
+
+    Subclasses are dataclasses declaring at least ``name``, ``protocol``,
+    ``ns``, ``seeds_per_cell``, ``params``, ``param_grid``, ``budget``,
+    ``check_interval_factor``, ``max_checks``, ``confirm_checks`` and
+    ``cell_timeout_s``; this base provides the common validation, the
+    parameter-grid expansion, the check cadence, and the JSON round-trip —
+    one implementation, so the two spec layers cannot drift apart.
+    """
+
+    #: Human-readable spec kind used in error messages.
+    _spec_kind = "grid"
+
+    def _validate_grid(self) -> None:
+        """Validate (and normalise) the fields shared by every grid spec."""
+        if not self.name:
+            raise ConfigurationError(f"{self._spec_kind} name must be non-empty")
+        resolve_protocol(self.protocol)  # fail fast on unknown protocols
+        if not self.ns:
+            raise ConfigurationError(
+                f"{self._spec_kind} requires at least one population size"
+            )
+        if any(n < 2 for n in self.ns):
+            raise ConfigurationError("population sizes must be at least 2")
+        if self.seeds_per_cell < 1:
+            raise ConfigurationError("seeds_per_cell must be at least 1")
+        self.budget = policy_from(self.budget, "budget policy")
+        if self.check_interval_factor <= 0:
+            raise ConfigurationError("check_interval_factor must be positive")
+        if self.max_checks < 1:
+            raise ConfigurationError("max_checks must be at least 1")
+        if self.confirm_checks < 1:
+            raise ConfigurationError("confirm_checks must be at least 1")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ConfigurationError("cell_timeout_s must be positive")
+
+    # ------------------------------------------------------------------ grid
+    def _param_variants(self) -> Iterator[Dict[str, Any]]:
+        if not self.param_grid:
+            yield dict(self.params)
+            return
+        keys = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[key] for key in keys)):
+            variant = dict(self.params)
+            variant.update(dict(zip(keys, values)))
+            yield variant
+
+    def check_interval(self, n: int) -> int:
+        """Convergence-check cadence for population size ``n``.
+
+        ``check_interval_factor`` units of ``n`` (one parallel-time unit
+        each), stretched to ``budget / max_checks`` when the budget is large
+        so checkpointing overhead stays bounded.
+        """
+        cadence = max(1, int(self.check_interval_factor * n))
+        stretched = self.budget.budget(n) // self.max_checks
+        return max(cadence, stretched, 1)
+
+    # ------------------------------------------------------------------ JSON
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary representation (round-trips via from_dict)."""
+        # asdict recurses into nested dataclasses (policies, event specs).
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GridSpec":
+        """Inverse of :meth:`to_dict`, with schema validation."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"{cls._spec_kind} spec must be a JSON object")
+        payload = dict(data)
+        known = set(cls.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls._spec_kind} spec fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid {cls._spec_kind} spec: {error}"
+            ) from None
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the spec to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GridSpec":
+        """Parse a spec from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{cls._spec_kind} spec is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)
 
 
 @dataclass(frozen=True)
@@ -67,7 +179,7 @@ def _param_suffix(params: Dict[str, Any]) -> str:
 
 
 @dataclass
-class SweepSpec:
+class SweepSpec(GridSpec):
     """A declarative experiment sweep.
 
     Attributes:
@@ -88,6 +200,11 @@ class SweepSpec:
             budget is large (quadratic protocols), keeping checkpointing
             overhead bounded while the geometric skips do the fast-forwarding.
         confirm_checks: Consecutive satisfied checks required to stop early.
+        cell_timeout_s: Optional wall-time budget per cell.  The worker
+            threads the remaining budget into every run (the simulator stops
+            with ``stopped_reason="wall-time"`` when it is exceeded) and
+            marks the cell as failed with a clean timeout record instead of
+            hanging the sweep; ``--resume`` re-runs timed-out cells.
         description: Free-form text carried into the artifact.
     """
 
@@ -103,40 +220,19 @@ class SweepSpec:
     check_interval_factor: float = 1.0
     max_checks: int = 2000
     confirm_checks: int = 3
+    cell_timeout_s: Optional[float] = None
     description: str = ""
 
+    _spec_kind = "sweep"
+
     def __post_init__(self) -> None:
-        if not self.name:
-            raise ConfigurationError("sweep name must be non-empty")
-        resolve_protocol(self.protocol)  # fail fast on unknown protocols
-        if not self.ns:
-            raise ConfigurationError("sweep requires at least one population size")
-        if any(n < 2 for n in self.ns):
-            raise ConfigurationError("population sizes must be at least 2")
-        if self.seeds_per_cell < 1:
-            raise ConfigurationError("seeds_per_cell must be at least 1")
+        self._validate_grid()
         if self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
             )
-        if self.check_interval_factor <= 0:
-            raise ConfigurationError("check_interval_factor must be positive")
-        if self.max_checks < 1:
-            raise ConfigurationError("max_checks must be at least 1")
-        if self.confirm_checks < 1:
-            raise ConfigurationError("confirm_checks must be at least 1")
 
     # ------------------------------------------------------------------ grid
-    def _param_variants(self) -> Iterator[Dict[str, Any]]:
-        if not self.param_grid:
-            yield dict(self.params)
-            return
-        keys = sorted(self.param_grid)
-        for values in itertools.product(*(self.param_grid[key] for key in keys)):
-            variant = dict(self.params)
-            variant.update(dict(zip(keys, values)))
-            yield variant
-
     def cells(self) -> List[SweepCell]:
         """Expand the grid into cells with deterministically derived seeds."""
         expanded: List[SweepCell] = []
@@ -158,53 +254,3 @@ class SweepSpec:
                     )
                 )
         return expanded
-
-    def check_interval(self, n: int) -> int:
-        """Convergence-check cadence for population size ``n``."""
-        cadence = max(1, int(self.check_interval_factor * n))
-        stretched = self.budget.budget(n) // self.max_checks
-        return max(cadence, stretched, 1)
-
-    # ------------------------------------------------------------------ JSON
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready dictionary representation (round-trips via from_dict)."""
-        # asdict recurses into the nested BudgetPolicy dataclass.
-        return asdict(self)
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
-        """Inverse of :meth:`to_dict`, with schema validation."""
-        if not isinstance(data, dict):
-            raise ConfigurationError("sweep spec must be a JSON object")
-        payload = dict(data)
-        budget = payload.pop("budget", None)
-        if budget is not None:
-            if not isinstance(budget, dict):
-                raise ConfigurationError("budget must be a JSON object")
-            try:
-                payload["budget"] = BudgetPolicy(**budget)
-            except TypeError as error:
-                raise ConfigurationError(f"invalid budget policy: {error}") from None
-        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py3.10 compat
-        unknown = set(payload) - known
-        if unknown:
-            raise ConfigurationError(
-                f"unknown sweep spec fields: {', '.join(sorted(unknown))}"
-            )
-        try:
-            return cls(**payload)
-        except TypeError as error:
-            raise ConfigurationError(f"invalid sweep spec: {error}") from None
-
-    def to_json(self, indent: int = 2) -> str:
-        """Serialise the spec to a JSON string."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
-
-    @classmethod
-    def from_json(cls, text: str) -> "SweepSpec":
-        """Parse a spec from a JSON string."""
-        try:
-            data = json.loads(text)
-        except json.JSONDecodeError as error:
-            raise ConfigurationError(f"sweep spec is not valid JSON: {error}") from None
-        return cls.from_dict(data)

@@ -1,0 +1,62 @@
+"""Dynamic-population chaos scenarios (`repro.scenarios`).
+
+The paper's counting protocols matter precisely because population sizes
+change; this package perturbs *running* populations and measures recovery.
+A declarative :class:`ScenarioSpec` (JSON round-trip) composes a registered
+protocol with a timeline of events — agent churn (join/leave/replace, with
+optional detected-membership restarts), repeated fault campaigns
+(generalising the one-shot ``FailureInjectionHook``), and adversarial
+scheduler reconfiguration (partition/merge) — and the runner executes the
+grid over population sizes, parameter variants, seeds, and *both* simulation
+backends, recording per-event recovery times, post-churn output accuracy
+against the new true ``n``, and conservation-invariant series (the counting
+stack's token sum through churn).
+
+``repro-chaos`` is the console entry point; ``SCENARIO_<name>.json`` the
+artifact.
+"""
+
+from .artifacts import build_document, load_document, scenario_json_path, write_scenario
+from .builtin import builtin_scenario_names, builtin_scenarios, resolve_builtin_scenario
+from .events import expand_events, resolve_fraction
+from .faults import FAULTS, FaultModel, fault_names, register_fault, resolve_fault
+from .metrics import (
+    INVARIANTS,
+    InvariantSpec,
+    invariant_names,
+    resolve_invariant,
+    scenario_cell_stats,
+    scenario_fits,
+)
+from .runner import InvariantTracker, ScenarioRunner, execute_scenario_cell
+from .spec import EVENT_KINDS, EventSpec, ScenarioCell, ScenarioSpec
+
+__all__ = [
+    "build_document",
+    "load_document",
+    "scenario_json_path",
+    "write_scenario",
+    "builtin_scenario_names",
+    "builtin_scenarios",
+    "resolve_builtin_scenario",
+    "expand_events",
+    "resolve_fraction",
+    "FAULTS",
+    "FaultModel",
+    "fault_names",
+    "register_fault",
+    "resolve_fault",
+    "INVARIANTS",
+    "InvariantSpec",
+    "invariant_names",
+    "resolve_invariant",
+    "scenario_cell_stats",
+    "scenario_fits",
+    "InvariantTracker",
+    "ScenarioRunner",
+    "execute_scenario_cell",
+    "EVENT_KINDS",
+    "EventSpec",
+    "ScenarioCell",
+    "ScenarioSpec",
+]

@@ -1,0 +1,79 @@
+"""Scenario artifacts: ``SCENARIO_<name>.json`` documents.
+
+The JSON artifact is the durable record of a chaos campaign: the full spec
+(re-runnable from the artifact alone), every cell's run records — including
+the engine's per-segment recovery accounting, the event timeline with
+invariant measurements, and the post-churn accuracy — plus per-backend
+recovery-scaling fits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from ..bench.runner import write_report
+from ..engine.errors import ExperimentError
+from .metrics import scenario_fits
+from .spec import ScenarioSpec
+
+__all__ = [
+    "scenario_json_path",
+    "build_document",
+    "write_scenario",
+    "load_document",
+]
+
+
+def scenario_json_path(output_dir: str, spec: ScenarioSpec) -> str:
+    """Path of the scenario's JSON artifact."""
+    return os.path.join(output_dir, f"SCENARIO_{spec.name}.json")
+
+
+def build_document(
+    spec: ScenarioSpec,
+    cells: List[Dict[str, Any]],
+    workers: int,
+) -> Dict[str, Any]:
+    """Assemble the JSON artifact document for a completed scenario."""
+    failed = [cell["cell_id"] for cell in cells if cell.get("error")]
+    return {
+        "artifact": "scenario",
+        "name": spec.name,
+        "generated_unix": int(time.time()),
+        "workers": workers,
+        "spec": spec.to_dict(),
+        "fits": scenario_fits([cell for cell in cells if not cell.get("error")]),
+        "failed_cells": failed,
+        "cells": cells,
+    }
+
+
+def write_scenario(
+    document: Dict[str, Any],
+    output_dir: str,
+    spec: ScenarioSpec,
+) -> Dict[str, str]:
+    """Write the JSON artifact; return its path."""
+    os.makedirs(output_dir, exist_ok=True)
+    json_path = scenario_json_path(output_dir, spec)
+    write_report(document, json_path)
+    return {"json": json_path}
+
+
+def load_document(path: str) -> Optional[Dict[str, Any]]:
+    """Load a previous scenario artifact, or ``None`` when absent."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(
+            f"cannot read scenario artifact {path}: {error}"
+        ) from None
+    if not isinstance(document, dict) or document.get("artifact") != "scenario":
+        raise ExperimentError(f"{path} is not a scenario artifact")
+    return document

@@ -1,0 +1,202 @@
+"""Built-in chaos scenarios for the counting stack and the baselines.
+
+Each builtin is a ready-to-run :class:`~repro.scenarios.spec.ScenarioSpec`;
+``repro-chaos --builtin NAME`` executes one, ``--list`` enumerates them, and
+``--dump-spec`` prints any of them as a JSON starting point.
+
+Calibration notes
+-----------------
+* ``recount-churn`` is the headline: the exact backup counter (Appendix
+  C.2) runs to its Lemma-13 stabilisation (empirically ``~1.3 n^2``
+  interactions), then 10% of the agents leave *with their tokens* and the
+  survivors restart — the detected-membership-change model — and the
+  scenario measures the time to re-count the new true ``n``, on both
+  backends side by side.  The committed ``SCENARIO_recount-churn.json``
+  artifact at ``n = 10^3`` is the repository's churn-recovery acceptance
+  record.
+* ``epidemic-rejoin`` sweeps the churn fraction through ``param_grid``: the
+  broadcast completes, a wave of uninformed agents joins, and recovery is a
+  fresh epidemic among the joiners — the robustness-curve shape is
+  ``O(n log n)`` again.
+* ``load-rebalance`` replaces 30% of the agents mid-balance (tokens leave
+  with them; joiners arrive empty), so the token sum *drops* and the
+  population must re-balance to a new mean — the token-sum invariant series
+  in the artifact shows the loss explicitly.
+* ``epidemic-fault-storm`` is a periodic campaign: every ``8 n log2 n``
+  interactions, 5% of the agents crash-reset to uninformed; the epidemic
+  re-closes after each wave.
+* ``partition-heal`` isolates the broadcast source in one of two scheduler
+  blocks from the start; the epidemic can only complete after the partition
+  merges (agent backend, adversarial scheduler).
+* ``recount-smoke`` is the CI grid: the headline shape at ``n = 64``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..engine.errors import ConfigurationError
+from ..experiments.spec import BudgetPolicy
+from .spec import EventSpec, ScenarioSpec
+
+__all__ = ["builtin_scenarios", "builtin_scenario_names", "resolve_builtin_scenario"]
+
+
+def builtin_scenarios() -> Dict[str, ScenarioSpec]:
+    """Construct the builtin scenarios (fresh instances each call)."""
+    specs = [
+        ScenarioSpec(
+            name="recount-churn",
+            protocol="backup-exact",
+            ns=[1_000],
+            seeds_per_cell=2,
+            backends=["agent", "batch"],
+            budget=BudgetPolicy(factor=12.0, n_exponent=2.0, log_exponent=0.0),
+            events=[
+                EventSpec(
+                    kind="leave",
+                    at=BudgetPolicy(factor=4.0, n_exponent=2.0, log_exponent=0.0),
+                    fraction=0.10,
+                    restart=True,
+                    label="churn-10pct",
+                )
+            ],
+            invariants=["population", "token-sum"],
+            max_checks=400,
+            description=(
+                "Exact counting (Appendix C.2) under churn: converge to n, "
+                "lose 10% of the agents (and their tokens), restart the "
+                "survivors, and measure the time to re-count the new true n "
+                "— on both backends."
+            ),
+        ),
+        ScenarioSpec(
+            name="recount-smoke",
+            protocol="backup-exact",
+            ns=[64],
+            seeds_per_cell=2,
+            backends=["agent", "batch"],
+            budget=BudgetPolicy(factor=16.0, n_exponent=2.0, log_exponent=0.0),
+            events=[
+                EventSpec(
+                    kind="leave",
+                    at=BudgetPolicy(factor=5.0, n_exponent=2.0, log_exponent=0.0),
+                    fraction=0.25,
+                    restart=True,
+                    label="churn-25pct",
+                )
+            ],
+            invariants=["population", "token-sum"],
+            max_checks=400,
+            description="Bounded CI grid exercising the scenario subsystem end to end.",
+        ),
+        ScenarioSpec(
+            name="epidemic-rejoin",
+            protocol="one-way-epidemic",
+            ns=[256, 1_024, 4_096],
+            seeds_per_cell=3,
+            backends=["batch"],
+            budget=BudgetPolicy(factor=80.0, n_exponent=1.0, log_exponent=1.0),
+            events=[
+                EventSpec(
+                    kind="join",
+                    at=BudgetPolicy(factor=20.0, n_exponent=1.0, log_exponent=1.0),
+                    fraction="churn_fraction",
+                    label="rejoin-wave",
+                )
+            ],
+            param_grid={"churn_fraction": [0.25, 0.5, 1.0]},
+            invariants=["population"],
+            description=(
+                "Robustness curve over churn severity (param_grid): a wave of "
+                "uninformed agents joins a completed broadcast; recovery is a "
+                "fresh epidemic among the joiners."
+            ),
+        ),
+        ScenarioSpec(
+            name="load-rebalance",
+            protocol="classical-load-balancing",
+            ns=[256, 1_024],
+            seeds_per_cell=3,
+            backends=["agent", "batch"],
+            budget=BudgetPolicy(factor=96.0, n_exponent=1.0, log_exponent=1.0),
+            events=[
+                EventSpec(
+                    kind="replace",
+                    at=BudgetPolicy(factor=32.0, n_exponent=1.0, log_exponent=1.0),
+                    fraction=0.30,
+                    label="crash-rejoin-30pct",
+                )
+            ],
+            invariants=["population", "token-sum"],
+            description=(
+                "Load balancing [10] under crash-rejoin churn: 30% of the "
+                "agents are replaced by empty ones, the token sum drops with "
+                "the leavers, and the survivors re-balance to the new mean."
+            ),
+        ),
+        ScenarioSpec(
+            name="epidemic-fault-storm",
+            protocol="one-way-epidemic",
+            ns=[1_024],
+            seeds_per_cell=3,
+            backends=["agent", "batch"],
+            budget=BudgetPolicy(factor=96.0, n_exponent=1.0, log_exponent=1.0),
+            events=[
+                EventSpec(
+                    kind="corrupt",
+                    fault="reset",
+                    at=BudgetPolicy(factor=8.0, n_exponent=1.0, log_exponent=1.0),
+                    every=BudgetPolicy(factor=8.0, n_exponent=1.0, log_exponent=1.0),
+                    repeat=5,
+                    fraction=0.05,
+                    label="reset-storm",
+                )
+            ],
+            invariants=["population"],
+            description=(
+                "Periodic fault campaign: every wave crash-resets 5% of the "
+                "agents to uninformed; the epidemic re-closes after each wave."
+            ),
+        ),
+        ScenarioSpec(
+            name="partition-heal",
+            protocol="one-way-epidemic",
+            ns=[256],
+            seeds_per_cell=3,
+            backends=["agent"],
+            budget=BudgetPolicy(factor=64.0, n_exponent=1.0, log_exponent=1.0),
+            events=[
+                EventSpec(kind="partition", at_interactions=0, blocks=2, label="split"),
+                EventSpec(
+                    kind="merge",
+                    at=BudgetPolicy(factor=16.0, n_exponent=1.0, log_exponent=1.0),
+                    label="heal",
+                ),
+            ],
+            invariants=["population"],
+            description=(
+                "Adversarial scheduler: the broadcast source is isolated in "
+                "one of two partition blocks, so the epidemic can only "
+                "complete after the partition heals."
+            ),
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def builtin_scenario_names() -> List[str]:
+    """Names of the builtin scenarios, headline first."""
+    return list(builtin_scenarios())
+
+
+def resolve_builtin_scenario(name: str) -> ScenarioSpec:
+    """Look up a builtin scenario by name."""
+    specs = builtin_scenarios()
+    try:
+        return specs[name]
+    except KeyError:
+        known = ", ".join(specs)
+        raise ConfigurationError(
+            f"unknown builtin scenario {name!r}; available: {known}"
+        ) from None

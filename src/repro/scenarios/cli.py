@@ -1,0 +1,169 @@
+"""``repro-chaos`` console entry point.
+
+Runs a chaos scenario (a builtin or a JSON spec), fans cells out across
+worker processes, and writes ``SCENARIO_<name>.json``.
+
+Usage::
+
+    repro-chaos --list                      # enumerate builtin scenarios
+    repro-chaos                             # run the headline recount-churn
+    repro-chaos --builtin epidemic-rejoin   # run another builtin
+    repro-chaos --smoke                     # bounded CI grid
+    repro-chaos --spec my_scenario.json     # run a custom spec
+    repro-chaos --dump-spec recount-churn   # print a builtin as JSON
+    repro-chaos --workers 4 --seed 7 --output-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..engine.errors import ReproError
+from .artifacts import build_document, write_scenario
+from .builtin import builtin_scenarios, resolve_builtin_scenario
+from .faults import FAULTS
+from .metrics import INVARIANTS
+from .runner import ScenarioRunner
+from .spec import ScenarioSpec
+
+__all__ = ["main"]
+
+HEADLINE_BUILTIN = "recount-churn"
+SMOKE_BUILTIN = "recount-smoke"
+
+
+def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    elif args.smoke:
+        spec = resolve_builtin_scenario(SMOKE_BUILTIN)
+    else:
+        spec = resolve_builtin_scenario(args.builtin)
+    if args.seed is not None:
+        spec.base_seed = args.seed
+    return spec
+
+
+def _print_listing() -> None:
+    print("builtin scenarios:")
+    for name, spec in builtin_scenarios().items():
+        grid = "x".join(str(n) for n in spec.ns)
+        backends = ",".join(spec.backends)
+        print(
+            f"  {name:20s} {spec.protocol:24s} n={grid}  backends={backends}  "
+            f"events={len(spec.events)}"
+        )
+        if spec.description:
+            print(f"  {'':20s} {spec.description}")
+    print("fault models:")
+    for name, model in FAULTS.items():
+        print(f"  {name:20s} {model.summary}")
+    print("invariants:")
+    for name, invariant in INVARIANTS.items():
+        print(f"  {name:20s} {invariant.summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description=(
+            "Run dynamic-population chaos scenarios (churn, fault campaigns, "
+            "partitions) and measure protocol recovery."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--builtin",
+        default=HEADLINE_BUILTIN,
+        help=f"builtin scenario to run (default: {HEADLINE_BUILTIN}; see --list)",
+    )
+    source.add_argument("--spec", help="path of a JSON scenario spec to run")
+    source.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"run the bounded CI grid (builtin {SMOKE_BUILTIN!r})",
+    )
+    source.add_argument(
+        "--dump-spec",
+        metavar="NAME",
+        help="print a builtin spec as JSON (a starting point for --spec) and exit",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list builtin scenarios, fault models, and invariants, then exit",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: all cores; 1 forces serial execution)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for SCENARIO_* artifacts (default: .)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the spec's root seed"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress output"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _print_listing()
+        return 0
+    if args.dump_spec:
+        try:
+            print(resolve_builtin_scenario(args.dump_spec).to_json())
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+
+    try:
+        spec = _load_spec(args)
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    started = time.perf_counter()
+    runner = ScenarioRunner(spec, workers=args.workers, progress=progress)
+    if progress:
+        total = len(spec.cells())
+        progress(
+            f"scenario {spec.name!r}: protocol={spec.protocol} cells={total} "
+            f"seeds/cell={spec.seeds_per_cell} backends={','.join(spec.backends)} "
+            f"events={len(spec.events)}"
+        )
+    cells = runner.run()
+    document = build_document(spec, cells, workers=runner.workers)
+    paths = write_scenario(document, args.output_dir, spec)
+    elapsed = time.perf_counter() - started
+
+    for backend, fit in (document["fits"].get("recovery_interactions") or {}).items():
+        if fit:
+            print(
+                f"recovery fit [{backend}]: interactions-to-reconverge ~ "
+                f"n^{fit['exponent']:.3f} (r^2 {fit['r_squared']:.4f}, "
+                f"{fit['points']} sizes)"
+            )
+    print(
+        f"wrote {paths['json']} ({len(cells)} cells, {elapsed:.1f}s)"
+    )
+    failed = document["failed_cells"]
+    if failed:
+        print(f"FAILED cells: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

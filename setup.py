@@ -9,11 +9,12 @@ from setuptools import find_namespace_packages, setup
 
 setup(
     name="repro-berenbrink-kr19",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of Berenbrink, Kaaser, Radzik (PODC 2019) population "
-        "protocols with a batched configuration-vector simulation backend, "
-        "a parallel experiment-sweep subsystem, and a dynamic-population "
+        "protocols with a batched configuration-vector simulation backend "
+        "(pluggable scan/alias/Fenwick weighted samplers), a parallel "
+        "experiment-sweep subsystem, and a dynamic-population "
         "chaos-scenario subsystem"
     ),
     package_dir={"": "src"},

@@ -5,6 +5,11 @@ population sizes, checks the headline perf target (a >= 50x reduction in
 Python-level transition calls on the epidemic protocol at ``n = 10**5``),
 and writes ``BENCH_batch_backend.json`` so the perf trajectory is tracked
 across PRs.
+
+``repro-bench --samplers`` runs the sampler-strategy benchmark instead
+(:mod:`repro.bench.samplers`): scan vs alias vs Fenwick vs auto on churning,
+dynamic-population, dense, and static workloads, written to
+``BENCH_samplers.json``.
 """
 
 from .runner import (
@@ -14,6 +19,12 @@ from .runner import (
     run_benchmark,
     smoke_cases,
 )
+from .samplers import (
+    SamplerBenchCase,
+    SamplerBenchEntry,
+    run_sampler_benchmark,
+    sampler_cases,
+)
 
 __all__ = [
     "BenchCase",
@@ -21,4 +32,8 @@ __all__ = [
     "default_cases",
     "run_benchmark",
     "smoke_cases",
+    "SamplerBenchCase",
+    "SamplerBenchEntry",
+    "run_sampler_benchmark",
+    "sampler_cases",
 ]

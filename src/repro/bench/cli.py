@@ -2,12 +2,15 @@
 
 Runs the backend benchmark grid and writes ``BENCH_batch_backend.json``
 (at the current working directory by default — run it from the repo root so
-the perf trajectory is tracked across PRs).
+the perf trajectory is tracked across PRs).  With ``--samplers`` it runs the
+sampler-strategy grid instead and writes ``BENCH_samplers.json``.
 
 Usage::
 
     repro-bench                 # full grid, n up to 10**6 on the batch backend
     repro-bench --smoke         # < 30 s grid for CI pushes
+    repro-bench --samplers      # scan vs alias vs Fenwick strategy grid
+    repro-bench --smoke --samplers
     repro-bench --output out.json --seed 7
 """
 
@@ -19,10 +22,12 @@ import time
 from typing import List, Optional
 
 from .runner import run_benchmark, write_report
+from .samplers import run_sampler_benchmark
 
 __all__ = ["main"]
 
 DEFAULT_OUTPUT = "BENCH_batch_backend.json"
+SAMPLERS_OUTPUT = "BENCH_samplers.json"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -36,9 +41,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the quick (< 30 s) grid used on CI pushes",
     )
     parser.add_argument(
+        "--samplers",
+        action="store_true",
+        help=(
+            "benchmark the batch backend's sampling strategies (scan/alias/"
+            f"fenwick/auto) instead of the backends; writes {SAMPLERS_OUTPUT}"
+        ),
+    )
+    parser.add_argument(
         "--output",
-        default=DEFAULT_OUTPUT,
-        help=f"path of the JSON report (default: {DEFAULT_OUTPUT})",
+        default=None,
+        help=(
+            "path of the JSON report "
+            f"(default: {DEFAULT_OUTPUT}, or {SAMPLERS_OUTPUT} with --samplers)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
     parser.add_argument(
@@ -48,9 +64,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     progress = None if args.quiet else lambda line: print(line, flush=True)
     started = time.perf_counter()
-    report = run_benchmark(smoke=args.smoke, base_seed=args.seed, progress=progress)
+    if args.samplers:
+        output = args.output or SAMPLERS_OUTPUT
+        report = run_sampler_benchmark(
+            smoke=args.smoke, base_seed=args.seed, progress=progress
+        )
+    else:
+        output = args.output or DEFAULT_OUTPUT
+        report = run_benchmark(smoke=args.smoke, base_seed=args.seed, progress=progress)
     elapsed = time.perf_counter() - started
-    write_report(report, args.output)
+    write_report(report, output)
+
+    if args.samplers:
+        headline = report["headline"]
+        churn = headline["churn"]
+        if churn is not None:
+            print(
+                f"headline: {churn['case']} n={churn['n']} fenwick "
+                f"{churn['fenwick_speedup_vs_scan']}x vs scan, "
+                f"{churn['fenwick_speedup_vs_alias']}x vs alias"
+            )
+        if report["headline_met"] is not None:
+            status = "OK" if report["headline_met"] else "BELOW TARGET"
+            print(f"acceptance criteria: {report['headline']['criteria']} [{status}]")
+        print(f"wrote {output} ({len(report['entries'])} entries, {elapsed:.1f}s)")
+        if report["headline_met"] is False:
+            return 1
+        return 0
 
     headline = report["headline"]
     if headline is not None:
@@ -60,7 +100,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"transition-call reduction {headline['transition_call_reduction']}x "
             f"(target {report['target_reduction']}x) [{status}]"
         )
-    print(f"wrote {args.output} ({len(report['entries'])} entries, {elapsed:.1f}s)")
+    print(f"wrote {output} ({len(report['entries'])} entries, {elapsed:.1f}s)")
     # The smoke grid has no headline-size case; only fail when the full grid
     # measured the headline and missed the target.
     if headline is not None and not report["headline_met"]:

@@ -11,10 +11,18 @@ these primitives.
 
 from .backends import (
     AgentBackend,
-    AliasTable,
     Backend,
     BatchBackend,
     LiftedKeyTransitions,
+)
+from .samplers import (
+    SAMPLER_NAMES,
+    AliasSampler,
+    AliasTable,
+    FenwickSampler,
+    ScanSampler,
+    WeightedSampler,
+    make_sampler,
 )
 from .convergence import (
     ConvergenceTracker,
@@ -60,13 +68,26 @@ from .simulator import (
     json_value,
     simulate,
 )
+from .stats import (
+    chi_square_gof,
+    chi_square_pvalue,
+    chi_square_statistic,
+    ks_pvalue,
+    ks_statistic,
+)
 
 __all__ = [
     "AgentBackend",
+    "AliasSampler",
     "AliasTable",
     "Backend",
     "BatchBackend",
+    "FenwickSampler",
     "LiftedKeyTransitions",
+    "SAMPLER_NAMES",
+    "ScanSampler",
+    "WeightedSampler",
+    "make_sampler",
     "ConvergenceTracker",
     "accuracy_fraction",
     "all_outputs_equal",
@@ -110,4 +131,9 @@ __all__ = [
     "default_interaction_budget",
     "json_value",
     "simulate",
+    "chi_square_gof",
+    "chi_square_pvalue",
+    "chi_square_statistic",
+    "ks_pvalue",
+    "ks_statistic",
 ]

@@ -40,6 +40,14 @@ import random
 from .errors import ConfigurationError, SimulationError
 from .metrics import AggregateInteractionCounter, InteractionCounter, StateSpaceTracker
 from .protocol import Protocol
+from .samplers import (
+    SAMPLER_NAMES,
+    AliasSampler,
+    AliasTable,
+    FenwickSampler,
+    WeightedSampler,
+    make_sampler,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
     from .scheduler import Scheduler
@@ -52,6 +60,7 @@ __all__ = [
     "LiftedKeyTransitions",
     "AliasTable",
     "BACKEND_NAMES",
+    "SAMPLER_NAMES",
 ]
 
 #: Valid values for the ``backend=`` argument of the simulator.
@@ -100,62 +109,6 @@ class LiftedKeyTransitions:
     def knows(self, key: Hashable) -> bool:
         """Whether a representative state exists for ``key``."""
         return key in self._representatives
-
-
-class AliasTable:
-    """Walker/Vose alias table: O(1) draws from a fixed discrete distribution.
-
-    Built once from a ``{value: weight}`` mapping in O(K); each draw costs two
-    uniform variates regardless of K.  The table is immutable — callers that
-    mutate their weights drop the table and rebuild it lazily on the next
-    draw, which amortises well whenever several draws happen between weight
-    changes (no-op events under a conservative ``can_interaction_change``,
-    memoised deterministic transitions landing back in the same keys, …).
-    """
-
-    __slots__ = ("values", "_prob", "_alias")
-
-    def __init__(self, weights: Dict[Any, int]) -> None:
-        values = list(weights.keys())
-        self.values = values
-        size = len(values)
-        if size == 0:
-            raise ConfigurationError("AliasTable requires at least one weighted value")
-        total = 0
-        for weight in weights.values():
-            if weight < 0:
-                raise ConfigurationError("AliasTable weights must be non-negative")
-            total += weight
-        if total <= 0:
-            raise ConfigurationError("AliasTable requires positive total weight")
-        scale = size / total
-        scaled = [weights[value] * scale for value in values]
-        prob = [0.0] * size
-        alias = [0] * size
-        small: List[int] = []
-        large: List[int] = []
-        for index, mass in enumerate(scaled):
-            (small if mass < 1.0 else large).append(index)
-        while small and large:
-            s = small.pop()
-            l = large.pop()
-            prob[s] = scaled[s]
-            alias[s] = l
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0
-            (small if scaled[l] < 1.0 else large).append(l)
-        for index in large:
-            prob[index] = 1.0
-        for index in small:  # numerical leftovers
-            prob[index] = 1.0
-        self._prob = prob
-        self._alias = alias
-
-    def sample(self, rng: random.Random) -> Any:
-        """Draw one value with probability proportional to its weight."""
-        index = rng.randrange(len(self.values))
-        if rng.random() < self._prob[index]:
-            return self.values[index]
-        return self.values[self._alias[index]]
 
 
 class Backend(abc.ABC):
@@ -483,16 +436,24 @@ class BatchBackend(Backend):
 
     * **Pruning** — the protocol overrides ``can_interaction_change``, so the
       active-pair weight table above is worth maintaining: skips are long and
-      the active pair type is drawn from an :class:`AliasTable` over the
-      table (rebuilt lazily whenever a weight changed; a linear scan is kept
-      for small tables where the rebuild would dominate).
+      the active pair type is drawn from a pluggable
+      :class:`~repro.engine.samplers.WeightedSampler` over the table.
     * **Dense** — the protocol keeps the conservative default, every ordered
       pair is active (``W == T``, no skipping is ever possible), and the
       O(K^2) pair table would be pure overhead.  The two participants' keys
-      are instead drawn directly from an :class:`AliasTable` over the key
-      histogram, which realises the uniform ordered-pair law exactly.  This
-      is the regime of the composed counting protocols, whose no-op analysis
-      is out of reach of a per-pair predicate.
+      are instead drawn from a :class:`~repro.engine.samplers.WeightedSampler`
+      over the key histogram, which realises the uniform ordered-pair law
+      exactly.  This is the regime of the composed counting protocols, whose
+      no-op analysis is out of reach of a per-pair predicate.
+
+    The ``sampler`` knob picks the strategy for whichever regime is active
+    (see :data:`~repro.engine.samplers.SAMPLER_NAMES`): ``"scan"`` /
+    ``"alias"`` / ``"fenwick"`` force one, while ``"auto"`` (default) starts
+    on the alias strategy and swaps in the Fenwick tree permanently once the
+    alias table *thrashes* — is invalidated faster than it serves draws, the
+    signature of a churning pair table (``backup-exact`` at ``n >= 10^4``,
+    scenario churn).  The final strategy and its counters are reported by
+    :meth:`sampler_stats` (surfaced as ``SimulationResult.extra["sampler"]``).
     """
 
     name = "batch"
@@ -503,6 +464,7 @@ class BatchBackend(Backend):
         scheduler_rng: random.Random,
         agent_rng: random.Random,
         track_state_space: bool = True,
+        sampler: str = "auto",
     ) -> None:
         super().__init__(simulator)
         protocol = self.protocol
@@ -544,13 +506,20 @@ class BatchBackend(Backend):
         self._prunes = (
             type(protocol).can_interaction_change is not Protocol.can_interaction_change
         )
-        # Alias tables are rebuilt lazily: any weight/count change drops them.
-        self._pair_alias: Optional[AliasTable] = None
-        self._count_alias: Optional[AliasTable] = None
-        # Reuse accounting for the adaptive build-vs-scan policy.
-        self._alias_builds = 0
-        self._alias_draws = 0
-        self._alias_scans = 0
+        if sampler not in SAMPLER_NAMES:
+            raise ConfigurationError(
+                f"unknown sampler {sampler!r}; expected one of {SAMPLER_NAMES}"
+            )
+        #: Requested strategy knob; ``"auto"`` enables the thrash-driven
+        #: alias-to-Fenwick switch.
+        self.sampler_mode = sampler
+        #: Stats snapshots of samplers retired by the ``auto`` switch.
+        self._retired_samplers: List[Dict[str, Any]] = []
+        # Pruning regime: sampler over active pair types.  Dense regime:
+        # sampler over the key histogram.  Only the active regime's sampler
+        # is materialised.
+        self._pair_sampler: Optional[WeightedSampler] = None
+        self._count_sampler: Optional[WeightedSampler] = None
         # Active ordered pair types and their integer weights; rebuilt lazily
         # in full once, then maintained incrementally per event.
         self._pair_weights: Dict[Tuple[Hashable, Hashable], int] = {}
@@ -558,6 +527,7 @@ class BatchBackend(Backend):
         if self._prunes:
             self._rebuild_pair_weights()
         else:
+            self._count_sampler = make_sampler(sampler, self.counts)
             # An initial configuration may already be the provable fixed
             # point (single key, deterministic no-op self-interaction).
             self._check_dense_fixed_point()
@@ -606,14 +576,21 @@ class BatchBackend(Backend):
                     total += weight
         self._pair_weights = pair_weights
         self._active_weight = total
-        self._pair_alias = None
+        if self._pair_sampler is None:
+            self._pair_sampler = make_sampler(self.sampler_mode, pair_weights)
+        else:
+            # The auto switch is sticky: a rebuild refreshes whatever
+            # strategy is currently active rather than reverting to alias.
+            self._pair_sampler.rebuild(pair_weights)
 
     def _update_pair_weights(self, changed: Tuple[Hashable, ...]) -> None:
         """Refresh pair weights after an event changed the ``changed`` keys.
 
         Small configurations are rebuilt wholesale (lower constants); larger
         ones are updated incrementally, touching only the O(changed * K)
-        ordered pairs that involve a changed key.
+        ordered pairs that involve a changed key — with the sampler notified
+        per changed pair, which is where the Fenwick strategy's O(log P)
+        point updates pay off.
         """
         if len(self.counts) <= self._REBUILD_THRESHOLD:
             self._rebuild_pair_weights()
@@ -621,6 +598,7 @@ class BatchBackend(Backend):
         changed_set = set(changed)
         neighbours = set(self.counts) | changed_set
         pair_weights = self._pair_weights
+        sampler = self._pair_sampler
         total = self._active_weight
         for key_d in changed_set:
             for key_x in neighbours:
@@ -636,8 +614,11 @@ class BatchBackend(Backend):
                     if weight > 0 and self._can_change(*pair):
                         pair_weights[pair] = weight
                         total += weight
+                        if weight != old:
+                            sampler.update(pair, weight)
+                    elif old:
+                        sampler.update(pair, 0)
         self._active_weight = total
-        self._pair_alias = None
 
     # -------------------------------------------------------------- stepping
     def advance_to(self, target: int) -> None:
@@ -671,48 +652,38 @@ class BatchBackend(Backend):
             self._apply_event()
         self.counter.total = self.interactions
 
-    #: Below this many active pair types a linear scan (no rebuild cost) beats
-    #: the lazily rebuilt alias table.
-    _ALIAS_THRESHOLD = 32
+    def _maybe_switch_on_thrash(
+        self, sampler: WeightedSampler, weights: Dict[Any, int], regime: str
+    ) -> WeightedSampler:
+        """Swap a thrashing alias sampler for a Fenwick tree (``auto`` only).
 
-    def _scan_pair_type(self) -> Tuple[Hashable, Hashable]:
-        """Linear inverse-CDF scan over the active pair weights."""
-        threshold = self._pair_rng.random() * self._active_weight
-        key_a: Hashable = None
-        key_b: Hashable = None
-        for (pair_a, pair_b), weight in self._pair_weights.items():
-            threshold -= weight
-            key_a, key_b = pair_a, pair_b
-            if threshold <= 0:
-                break
-        return key_a, key_b
+        The alias strategy reports :attr:`~repro.engine.samplers.AliasSampler.
+        thrashing` once tables stop amortising (churn on nearly every draw);
+        under the ``auto`` knob that is the signal to move to O(log P) point
+        updates permanently.  The retired sampler's counters are kept for
+        :meth:`sampler_stats`.
+        """
+        if (
+            self.sampler_mode == "auto"
+            and isinstance(sampler, AliasSampler)
+            and sampler.thrashing
+        ):
+            retired = sampler.stats()
+            retired["regime"] = regime
+            self._retired_samplers.append(retired)
+            sampler = FenwickSampler(weights)
+            if regime == "pruning":
+                self._pair_sampler = sampler
+            else:
+                self._count_sampler = sampler
+        return sampler
 
     def _sample_pair_type(self) -> Tuple[Hashable, Hashable]:
-        """Sample one active ordered pair type (pruning regime).
-
-        Small tables use the linear scan outright.  Large tables draw from
-        the lazily rebuilt :class:`AliasTable`; when the weights churn so
-        fast that a table rarely serves two draws before being invalidated,
-        rebuilding costs more than scanning, so the policy falls back to the
-        scan and only re-probes the alias path periodically.
-        """
-        pair_weights = self._pair_weights
-        if len(pair_weights) <= self._ALIAS_THRESHOLD:
-            return self._scan_pair_type()
-        alias = self._pair_alias
-        if alias is None:
-            churning = (
-                self._alias_builds >= 8
-                and self._alias_draws < 2 * self._alias_builds
-            )
-            if churning:
-                self._alias_scans += 1
-                if self._alias_scans % 64:
-                    return self._scan_pair_type()
-            alias = self._pair_alias = AliasTable(pair_weights)
-            self._alias_builds += 1
-        self._alias_draws += 1
-        return alias.sample(self._pair_rng)
+        """Sample one active ordered pair type (pruning regime)."""
+        sampler = self._maybe_switch_on_thrash(
+            self._pair_sampler, self._pair_weights, "pruning"
+        )
+        return sampler.sample(self._pair_rng)
 
     def _sample_dense_pair(self) -> Tuple[Hashable, Hashable]:
         """Sample the ordered key pair of a uniform interaction (dense regime).
@@ -726,14 +697,14 @@ class BatchBackend(Backend):
         if len(counts) == 1:
             key = next(iter(counts))
             return key, key
-        alias = self._count_alias
-        if alias is None:
-            alias = self._count_alias = AliasTable(counts)
+        sampler = self._maybe_switch_on_thrash(
+            self._count_sampler, counts, "dense"
+        )
         rng = self._pair_rng
-        key_a = alias.sample(rng)
+        key_a = sampler.sample(rng)
         count_a = counts[key_a]
         while True:
-            key_b = alias.sample(rng)
+            key_b = sampler.sample(rng)
             if key_b != key_a:
                 return key_a, key_b
             # Same key drawn: one of its count_a agents is the initiator, so
@@ -781,7 +752,9 @@ class BatchBackend(Backend):
             if self._prunes:
                 self._update_pair_weights((key_a, key_b, new_a, new_b))
             else:
-                self._count_alias = None
+                sampler = self._count_sampler
+                for key in (key_a, key_b, new_a, new_b):
+                    sampler.update(key, counts.get(key, 0))
                 self._check_dense_fixed_point()
         simulator = self.simulator
         if simulator.hooks:
@@ -833,7 +806,6 @@ class BatchBackend(Backend):
         exists.
         """
         self.counter.n = self.n
-        self._count_alias = None
         self.terminal = False
         self.population_changes += 1
         if self._prunes:
@@ -845,6 +817,13 @@ class BatchBackend(Backend):
                 # Churn may land on an already-stable configuration.
                 self.terminal = True
         else:
+            if full_rebuild or len(changed) * 4 >= len(self.counts):
+                self._count_sampler.rebuild(self.counts)
+            else:
+                sampler = self._count_sampler
+                counts = self.counts
+                for key in changed:
+                    sampler.update(key, counts.get(key, 0))
             self._check_dense_fixed_point()
 
     def _sample_victim_keys(self, victims: int, rng: random.Random) -> List[Hashable]:
@@ -968,11 +947,32 @@ class BatchBackend(Backend):
         if changed:
             if self._prunes:
                 self._rebuild_pair_weights()
-            self._count_alias = None
+            else:
+                self._count_sampler.rebuild(counts)
             self.terminal = False
         return changed
 
     # ------------------------------------------------------------- observers
+    def sampler_stats(self) -> Dict[str, Any]:
+        """JSON-friendly record of the sampling strategy this run ended on.
+
+        Includes the requested knob, the regime, the active strategy's
+        counters, and (after an ``auto`` switch) the retired samplers'
+        counters — the hook the regression tests use to pin the switching
+        heuristic.
+        """
+        sampler = self._pair_sampler if self._prunes else self._count_sampler
+        record: Dict[str, Any] = {
+            "requested": self.sampler_mode,
+            "regime": "pruning" if self._prunes else "dense",
+            "switched": bool(self._retired_samplers),
+        }
+        if sampler is not None:
+            record.update(sampler.stats())
+        if self._retired_samplers:
+            record["retired"] = list(self._retired_samplers)
+        return record
+
     def state_key_counts(self) -> Counter:
         return Counter(self.counts)
 

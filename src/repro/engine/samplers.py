@@ -1,0 +1,600 @@
+"""Pluggable weighted samplers for the batch backend's hot draw path.
+
+The batch backend spends its life drawing from discrete weighted
+distributions: the active ordered pair-type table in the *pruning* regime and
+the key histogram in the *dense* regime.  Three interchangeable strategies
+are provided behind the :class:`WeightedSampler` interface:
+
+* :class:`ScanSampler` — linear inverse-CDF scan.  O(1) updates, O(P) draws;
+  unbeatable for tables of a few dozen entries and the reference
+  implementation the others are differentially tested against.
+* :class:`AliasSampler` — an O(P)-build, O(1)-draw lookup table that is
+  rebuilt lazily whenever a weight changed.  Amortises beautifully when many
+  draws happen between weight changes (the dense regime, where most
+  interactions are no-ops at key level) and thrashes when the weights churn
+  on nearly every draw, in which case it falls back to scanning and only
+  re-probes a rebuild periodically.
+* :class:`FenwickSampler` — a Fenwick (binary indexed) tree over the
+  weights: O(log P) point update, O(log P) inverse-CDF draw.  The right
+  tool for *churning* wide tables — ``backup-exact`` at ``n >= 10^4``
+  invalidates the pair table on nearly every event, exactly where the alias
+  strategy degenerates to O(P) per event.
+
+Draw-path determinism
+---------------------
+
+All strategies obey one **canonical draw contract**: a draw consumes exactly
+one ``rng.random()`` variate ``u`` and returns the key whose cumulative
+weight interval (taken in the sampler's slot order, which is the insertion
+order of the weights it was built from) contains ``u * total`` — i.e. every
+strategy evaluates the *same* inverse CDF, differing only in the data
+structure used to evaluate it.  Consequently two samplers built from the
+same weights map the same random stream to the *identical* key sequence as
+long as the weights stay static.  This is what makes the cross-strategy
+differential tests in ``tests/test_samplers.py`` exact rather than merely
+statistical, and it is why :class:`AliasSampler` uses Walker-style *guide
+pointers into the cumulative table* (the cutpoint method — O(1) expected
+draws, same inverse-CDF map) rather than the classic Vose alias layout,
+whose u-to-key map cannot be aligned with an inverse CDF.
+
+The classic Vose :class:`AliasTable` is retained for API compatibility and
+for immutable one-shot distributions.
+
+Integer weights up to ``2**53`` keep every comparison in the draw path exact
+(see the float-exactness note on :meth:`FenwickSampler.sample`), so the
+determinism guarantee is bit-for-bit, not approximate.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Dict, Hashable, List, Optional
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "SAMPLER_NAMES",
+    "WeightedSampler",
+    "ScanSampler",
+    "AliasSampler",
+    "FenwickSampler",
+    "AliasTable",
+    "make_sampler",
+]
+
+#: Valid values for the ``sampler=`` knob of the simulator and the batch
+#: backend.  ``"auto"`` starts on the alias strategy and switches to the
+#: Fenwick tree when the weights churn faster than the alias table amortises.
+SAMPLER_NAMES = ("auto", "scan", "alias", "fenwick")
+
+
+def _validate_weight(weight: int) -> None:
+    if weight < 0:
+        raise ConfigurationError("sampler weights must be non-negative")
+
+
+def _clean_weights(weights: Dict[Hashable, int]) -> Dict[Hashable, int]:
+    """Copy ``weights`` dropping zero entries, validating non-negativity."""
+    cleaned: Dict[Hashable, int] = {}
+    for key, weight in weights.items():
+        _validate_weight(weight)
+        if weight:
+            cleaned[key] = weight
+    return cleaned
+
+
+class WeightedSampler(abc.ABC):
+    """Dynamic weighted sampling over a ``{key: weight}`` table.
+
+    The contract every strategy implements:
+
+    * :meth:`sample` draws one key with probability ``weight / total``,
+      consuming exactly one uniform variate and following the canonical
+      inverse-CDF order (see the module docstring).
+    * :meth:`update` sets one key's weight (0 removes it from the
+      distribution); :meth:`rebuild` replaces the whole table.
+    * :attr:`total` is the current total weight; ``len(sampler)`` the number
+      of keys with positive weight.
+
+    Stats counters (``draws``, ``updates``, ``rebuilds`` plus
+    strategy-specific extras) feed the ``auto`` switching heuristic and are
+    surfaced in ``SimulationResult.extra["sampler"]`` so tests can pin the
+    strategy a run ended on.
+    """
+
+    #: Stable strategy name (matches the ``sampler=`` knob values).
+    strategy: str = ""
+
+    def __init__(self) -> None:
+        self.draws = 0
+        self.updates = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------- API
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> Hashable:
+        """Draw one key with probability proportional to its weight."""
+
+    @abc.abstractmethod
+    def update(self, key: Hashable, weight: int) -> None:
+        """Set ``key``'s weight (0 removes it from the distribution)."""
+
+    @abc.abstractmethod
+    def rebuild(self, weights: Dict[Hashable, int]) -> None:
+        """Replace the whole weight table (wholesale churn, restarts)."""
+
+    @property
+    @abc.abstractmethod
+    def total(self) -> int:
+        """Current total weight."""
+
+    @abc.abstractmethod
+    def weights(self) -> Dict[Hashable, int]:
+        """Current ``{key: weight}`` table (positive weights only)."""
+
+    def __len__(self) -> int:
+        return len(self.weights())
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-friendly counters describing the sampler's life so far."""
+        return {
+            "strategy": self.strategy,
+            "draws": self.draws,
+            "updates": self.updates,
+            "rebuilds": self.rebuilds,
+        }
+
+    # ------------------------------------------------------------- internals
+    def _require_positive_total(self) -> None:
+        if self.total <= 0:
+            raise ConfigurationError(
+                f"{type(self).__name__} cannot sample from a zero-weight table"
+            )
+
+
+def _scan_inverse_cdf(
+    weights: Dict[Hashable, int], total: int, rng: random.Random
+) -> Hashable:
+    """The canonical draw: inverse CDF over ``weights`` in insertion order.
+
+    Consumes exactly one uniform.  The float corner where ``u * total``
+    rounds up to ``total`` falls through to the last key, matching the
+    Fenwick descent's clamp.
+    """
+    target = rng.random() * total
+    chosen: Hashable = None
+    for key, weight in weights.items():
+        target -= weight
+        chosen = key
+        if target < 0:
+            break
+    return chosen
+
+
+class ScanSampler(WeightedSampler):
+    """Linear inverse-CDF scan: O(1) update, O(P) draw.
+
+    The reference strategy — trivially correct, cache-friendly, and the
+    fastest choice for tables small enough that a draw touches only a few
+    entries.  Every other strategy is differentially tested against it.
+    """
+
+    strategy = "scan"
+
+    def __init__(self, weights: Optional[Dict[Hashable, int]] = None) -> None:
+        super().__init__()
+        self._weights: Dict[Hashable, int] = {}
+        self._total = 0
+        if weights:
+            self.rebuild(weights)
+            self.rebuilds = 0  # construction is not churn
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def weights(self) -> Dict[Hashable, int]:
+        return dict(self._weights)
+
+    def update(self, key: Hashable, weight: int) -> None:
+        _validate_weight(weight)
+        self.updates += 1
+        old = self._weights.pop(key, 0)
+        if weight:
+            self._weights[key] = weight
+        self._total += weight - old
+
+    def rebuild(self, weights: Dict[Hashable, int]) -> None:
+        self.rebuilds += 1
+        self._weights = _clean_weights(weights)
+        self._total = sum(self._weights.values())
+
+    def sample(self, rng: random.Random) -> Hashable:
+        self._require_positive_total()
+        self.draws += 1
+        return _scan_inverse_cdf(self._weights, self._total, rng)
+
+
+class AliasSampler(WeightedSampler):
+    """Lazily rebuilt O(1)-draw table with an adaptive scan fallback.
+
+    The table is a cumulative-weight array plus Walker-style guide pointers
+    (one per key) locating the inverse-CDF position of each equal-width
+    column of ``[0, total)`` — O(P) to build, O(1) expected per draw, and,
+    unlike the classic Vose layout, *identical* in its u-to-key map to the
+    canonical scan (module docstring).  Any weight change drops the table;
+    it is rebuilt on the next draw, which amortises whenever several draws
+    happen between changes.
+
+    When the weights churn so fast that a table rarely serves two draws
+    before being invalidated (``builds >= 8`` with ``table_draws <
+    2 * builds``), rebuilding costs more than scanning, so draws fall back
+    to the linear scan and only every :attr:`REPROBE_PERIOD`-th fallback
+    draw re-probes a rebuild.  The fallback-scan counter resets on every
+    successful build: a long scan streak from a past churn era must not
+    cheapen the re-probe cadence of the next one (PR 4 regression).
+
+    Tables of at most :attr:`SMALL_TABLE` keys are scanned outright without
+    touching the table or its counters — at that size the scan wins
+    unconditionally and the churn heuristic would only add noise.
+    """
+
+    strategy = "alias"
+
+    #: At or below this many keys a draw scans outright (no table).
+    SMALL_TABLE = 32
+    #: Builds before the churn heuristic may engage.
+    CHURN_BUILDS = 8
+    #: A table must serve at least this many draws per build to amortise.
+    CHURN_DRAW_FACTOR = 2
+    #: Every this-many fallback scans, one draw re-probes a rebuild.
+    REPROBE_PERIOD = 64
+
+    def __init__(self, weights: Optional[Dict[Hashable, int]] = None) -> None:
+        super().__init__()
+        self._weights: Dict[Hashable, int] = {}
+        self._total = 0
+        self._keys: List[Hashable] = []
+        self._cum: List[int] = []
+        self._guide: List[int] = []
+        self._dirty = True
+        self.builds = 0       # lazy table constructions
+        self.table_draws = 0  # draws served by the table
+        self.scans = 0        # fallback scans since the last build
+        if weights:
+            self.rebuild(weights)
+            self.rebuilds = 0  # construction is not churn
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def weights(self) -> Dict[Hashable, int]:
+        return dict(self._weights)
+
+    @property
+    def thrashing(self) -> bool:
+        """Whether the weights churn too fast for the table to amortise."""
+        return (
+            self.builds >= self.CHURN_BUILDS
+            and self.table_draws < self.CHURN_DRAW_FACTOR * self.builds
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        record = super().stats()
+        record.update(
+            builds=self.builds,
+            table_draws=self.table_draws,
+            scans=self.scans,
+            thrashing=self.thrashing,
+        )
+        return record
+
+    def update(self, key: Hashable, weight: int) -> None:
+        _validate_weight(weight)
+        self.updates += 1
+        old = self._weights.pop(key, 0)
+        if weight:
+            self._weights[key] = weight
+        self._total += weight - old
+        self._dirty = True
+
+    def rebuild(self, weights: Dict[Hashable, int]) -> None:
+        self.rebuilds += 1
+        self._weights = _clean_weights(weights)
+        self._total = sum(self._weights.values())
+        self._dirty = True
+
+    def _build(self) -> None:
+        keys = list(self._weights.keys())
+        cum: List[int] = []
+        acc = 0
+        for key in keys:
+            acc += self._weights[key]
+            cum.append(acc)
+        size = len(keys)
+        guide: List[int] = [0] * size
+        position = 0
+        total = self._total
+        for column in range(size):
+            threshold = column * total / size
+            while cum[position] <= threshold:
+                position += 1
+            guide[column] = position
+        self._keys = keys
+        self._cum = cum
+        self._guide = guide
+        self._dirty = False
+        self.builds += 1
+        # Reset the fallback counter: re-probe cadence must restart fresh
+        # after every successful build (a stale streak from an earlier churn
+        # era would otherwise misalign the % REPROBE_PERIOD schedule).
+        self.scans = 0
+
+    def sample(self, rng: random.Random) -> Hashable:
+        self._require_positive_total()
+        self.draws += 1
+        if len(self._weights) <= self.SMALL_TABLE:
+            return _scan_inverse_cdf(self._weights, self._total, rng)
+        if self._dirty:
+            if self.thrashing:
+                self.scans += 1
+                if self.scans % self.REPROBE_PERIOD:
+                    return _scan_inverse_cdf(self._weights, self._total, rng)
+            self._build()
+        self.table_draws += 1
+        u = rng.random()
+        target = u * self._total
+        cum = self._cum
+        column = int(u * len(self._guide))
+        if column >= len(self._guide):  # u * size rounding up to size
+            column = len(self._guide) - 1
+        index = self._guide[column]
+        # One float rounding corner each way: u * len could land one column
+        # high, and target could round up past the last cumulative weight.
+        while index > 0 and cum[index - 1] > target:
+            index -= 1
+        last = len(cum) - 1
+        while index < last and cum[index] <= target:
+            index += 1
+        return self._keys[index]
+
+
+class FenwickSampler(WeightedSampler):
+    """Fenwick-tree (binary indexed) weighted sampler.
+
+    Weights live at the leaves of an implicit prefix-sum tree: a point
+    update costs O(log P), and a draw walks the tree top-down to locate the
+    inverse-CDF position in O(log P) — no rebuild ever, which is what wins
+    on churning wide tables where the alias strategy pays O(P) per event
+    (rebuild) and the scan pays O(P) per draw.
+
+    Keys keep their slot for life (a key whose weight returns to 0 and back
+    reuses its slot), so the canonical slot order is the first-insertion
+    order; when more than half the slots are dead the structure compacts
+    itself with one O(P) rebuild.
+
+    Float-exactness note: a draw computes ``target = u * total`` once and
+    then subtracts integer node sums while descending.  As long as
+    ``total < 2**53`` every such difference is exact in IEEE-754 double
+    precision (both operands are multiples of the smaller operand's ulp and
+    the result shrinks), so the descent lands on *exactly* the slot the
+    canonical linear scan would pick for the same ``u`` — the determinism
+    contract is bit-for-bit.
+    """
+
+    strategy = "fenwick"
+
+    #: Compact (rebuild dropping dead slots) when over half the slots are
+    #: dead and the table is at least this large.
+    COMPACT_MIN_SIZE = 64
+
+    def __init__(self, weights: Optional[Dict[Hashable, int]] = None) -> None:
+        super().__init__()
+        self._keys: List[Hashable] = []
+        self._slots: Dict[Hashable, int] = {}
+        self._leaf: List[int] = []
+        self._tree: List[int] = [0]  # 1-based; _tree[0] unused
+        self._total = 0
+        self._dead = 0
+        if weights:
+            self.rebuild(weights)
+            self.rebuilds = 0  # construction is not churn
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def weights(self) -> Dict[Hashable, int]:
+        return {
+            key: self._leaf[slot]
+            for key, slot in self._slots.items()
+            if self._leaf[slot]
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        record = super().stats()
+        record.update(slots=len(self._keys), dead_slots=self._dead)
+        return record
+
+    def rebuild(self, weights: Dict[Hashable, int]) -> None:
+        self.rebuilds += 1
+        cleaned = _clean_weights(weights)
+        self._keys = list(cleaned.keys())
+        self._slots = {key: slot for slot, key in enumerate(self._keys)}
+        leaf = [cleaned[key] for key in self._keys]
+        self._leaf = leaf
+        size = len(leaf)
+        # Linear-time construction: each node accumulates into its parent.
+        tree = [0] * (size + 1)
+        for index in range(1, size + 1):
+            tree[index] += leaf[index - 1]
+            parent = index + (index & -index)
+            if parent <= size:
+                tree[parent] += tree[index]
+        self._tree = tree
+        self._total = sum(leaf)
+        self._dead = 0
+
+    # --------------------------------------------------------------- helpers
+    def _prefix(self, count: int) -> int:
+        """Sum of the first ``count`` slots' weights."""
+        tree = self._tree
+        acc = 0
+        while count > 0:
+            acc += tree[count]
+            count -= count & -count
+        return acc
+
+    def _add(self, position: int, delta: int) -> None:
+        """Add ``delta`` at 1-based ``position``."""
+        tree = self._tree
+        size = len(tree)
+        while position < size:
+            tree[position] += delta
+            position += position & -position
+
+    def _append(self, key: Hashable, weight: int) -> None:
+        position = len(self._keys) + 1
+        low = position & -position
+        # tree[position] covers slots (position - low, position]; seed it with
+        # the already-present part of that range so the invariant holds.
+        base = self._prefix(position - 1) - self._prefix(position - low)
+        self._keys.append(key)
+        self._slots[key] = position - 1
+        self._leaf.append(weight)
+        self._tree.append(base + weight)
+        self._total += weight
+
+    def update(self, key: Hashable, weight: int) -> None:
+        _validate_weight(weight)
+        self.updates += 1
+        slot = self._slots.get(key)
+        if slot is None:
+            if weight:
+                self._append(key, weight)
+            return
+        old = self._leaf[slot]
+        if weight == old:
+            return
+        self._leaf[slot] = weight
+        self._add(slot + 1, weight - old)
+        self._total += weight - old
+        if old and not weight:
+            self._dead += 1
+        elif weight and not old:
+            self._dead -= 1
+        size = len(self._keys)
+        if size >= self.COMPACT_MIN_SIZE and self._dead * 2 > size:
+            live = self.weights()
+            self.rebuild(live)
+            self.rebuilds -= 1  # compaction is maintenance, not API churn
+
+    def sample(self, rng: random.Random) -> Hashable:
+        self._require_positive_total()
+        self.draws += 1
+        target = rng.random() * self._total
+        tree = self._tree
+        size = len(tree) - 1
+        position = 0
+        bit = 1 << (size.bit_length() - 1) if size else 0
+        while bit:
+            probe = position + bit
+            if probe <= size and tree[probe] <= target:
+                target -= tree[probe]
+                position = probe
+            bit >>= 1
+        # Float corner: u * total rounding up to total walks off the end;
+        # clamp back to the last live slot (the scan lands there too).
+        if position >= size:
+            position = size - 1
+        leaf = self._leaf
+        while position > 0 and not leaf[position]:
+            position -= 1
+        return self._keys[position]
+
+
+class AliasTable:
+    """Walker/Vose alias table: O(1) draws from a fixed discrete distribution.
+
+    Built once from a ``{value: weight}`` mapping in O(K); each draw costs two
+    uniform variates regardless of K.  The table is immutable — for mutable
+    weights use a :class:`WeightedSampler` strategy instead.  Note that the
+    Vose u-to-value map is *not* the canonical inverse CDF, so this class
+    sits outside the draw-path determinism contract; it is kept for
+    immutable one-shot distributions and API compatibility.
+    """
+
+    __slots__ = ("values", "_prob", "_alias")
+
+    def __init__(self, weights: Dict[Any, int]) -> None:
+        values = list(weights.keys())
+        self.values = values
+        size = len(values)
+        if size == 0:
+            raise ConfigurationError("AliasTable requires at least one weighted value")
+        total = 0
+        for weight in weights.values():
+            if weight < 0:
+                raise ConfigurationError("AliasTable weights must be non-negative")
+            total += weight
+        if total <= 0:
+            raise ConfigurationError("AliasTable requires positive total weight")
+        scale = size / total
+        scaled = [weights[value] * scale for value in values]
+        prob = [0.0] * size
+        alias = [0] * size
+        small: List[int] = []
+        large: List[int] = []
+        for index, mass in enumerate(scaled):
+            (small if mass < 1.0 else large).append(index)
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            (small if scaled[l] < 1.0 else large).append(l)
+        for index in large:
+            prob[index] = 1.0
+        for index in small:  # numerical leftovers
+            prob[index] = 1.0
+        self._prob = prob
+        self._alias = alias
+
+    def sample(self, rng: random.Random) -> Any:
+        """Draw one value with probability proportional to its weight."""
+        index = rng.randrange(len(self.values))
+        if rng.random() < self._prob[index]:
+            return self.values[index]
+        return self.values[self._alias[index]]
+
+
+#: Concrete strategy classes by knob name (``"auto"`` resolves to the alias
+#: strategy; the batch backend owns the switch-to-Fenwick heuristic).
+_STRATEGIES = {
+    "scan": ScanSampler,
+    "alias": AliasSampler,
+    "fenwick": FenwickSampler,
+}
+
+
+def make_sampler(
+    name: str, weights: Optional[Dict[Hashable, int]] = None
+) -> WeightedSampler:
+    """Build the sampler strategy for a ``sampler=`` knob value.
+
+    ``"auto"`` returns an :class:`AliasSampler` — the caller (the batch
+    backend) watches its :attr:`~AliasSampler.thrashing` flag and swaps in a
+    :class:`FenwickSampler` when the weights churn too fast to amortise.
+    """
+    if name == "auto":
+        return AliasSampler(weights)
+    try:
+        strategy = _STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sampler {name!r}; expected one of {SAMPLER_NAMES}"
+        ) from None
+    return strategy(weights)

@@ -24,7 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .backends import BACKEND_NAMES, AgentBackend, Backend, BatchBackend
+from .backends import BACKEND_NAMES, SAMPLER_NAMES, AgentBackend, Backend, BatchBackend
 from .convergence import ConvergenceTracker, OutputPredicate
 from .errors import ConfigurationError, SimulationError, UniformityError
 from .hooks import Hook, TimelineEvent
@@ -204,6 +204,14 @@ class Simulator:
             natively supports key-level transitions and neither a custom
             scheduler nor a hook requiring per-agent callbacks is in play,
             else ``"agent"``.
+        sampler: Weighted-sampling strategy of the batch backend
+            (``"auto"``, ``"scan"``, ``"alias"``, ``"fenwick"`` — see
+            :mod:`repro.engine.samplers`).  ``"auto"`` (default) starts on
+            the alias table and switches to the Fenwick tree when the
+            weight table churns too fast to amortise.  The knob only
+            affects the batch backend; the per-agent backend draws agent
+            indices, not weighted types, and accepts any value unchanged
+            (so mixed agent/batch scenario grids can share one spec).
     """
 
     def __init__(
@@ -216,6 +224,7 @@ class Simulator:
         track_state_space: bool = True,
         require_uniform: bool = False,
         backend: str = "agent",
+        sampler: str = "auto",
     ) -> None:
         if n < 2:
             raise ConfigurationError("population size must be at least 2")
@@ -227,6 +236,11 @@ class Simulator:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
             )
+        if sampler not in SAMPLER_NAMES:
+            raise ConfigurationError(
+                f"unknown sampler {sampler!r}; expected one of {SAMPLER_NAMES}"
+            )
+        self.sampler = sampler
         self.protocol = protocol
         #: Population size the simulator was constructed with; the current
         #: size is the (dynamic) :attr:`n` property, which timeline churn
@@ -270,6 +284,7 @@ class Simulator:
                 scheduler_rng=self._scheduler_rng,
                 agent_rng=self._agent_rng,
                 track_state_space=track_state_space,
+                sampler=sampler,
             )
         else:
             self.scheduler = scheduler if scheduler is not None else UniformRandomScheduler()
@@ -612,6 +627,8 @@ class Simulator:
             "satisfied_checks": satisfied_before + tracker.satisfied_checks,
             "participation_tracked": isinstance(backend, AgentBackend),
         }
+        if isinstance(backend, BatchBackend):
+            extra["sampler"] = backend.sampler_stats()
         if events:
             extra["initial_n"] = self.initial_n
             extra["timeline"] = timeline_records
@@ -655,6 +672,7 @@ def simulate(
     require_convergence: bool = False,
     require_uniform: bool = False,
     backend: str = "agent",
+    sampler: str = "auto",
     timeline: Sequence[TimelineEvent] = (),
     convergence_factory: Optional[Callable[[Simulator], OutputPredicate]] = None,
     max_wall_time_s: Optional[float] = None,
@@ -662,8 +680,8 @@ def simulate(
     """One-shot convenience wrapper: construct a :class:`Simulator` and run it.
 
     See :meth:`Simulator.run` for the meaning of the arguments and the
-    ``backend`` parameter of :class:`Simulator` for backend selection
-    (``"agent"``, ``"batch"``, or ``"auto"``).
+    ``backend`` / ``sampler`` parameters of :class:`Simulator` for backend
+    and batch-sampling-strategy selection.
     """
     simulator = Simulator(
         protocol,
@@ -673,6 +691,7 @@ def simulate(
         hooks=hooks,
         require_uniform=require_uniform,
         backend=backend,
+        sampler=sampler,
     )
     return simulator.run(
         max_interactions=max_interactions,

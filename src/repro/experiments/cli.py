@@ -54,6 +54,8 @@ def _load_spec(args: argparse.Namespace) -> SweepSpec:
         spec = resolve_builtin(args.builtin)
     if args.seed is not None:
         spec.base_seed = args.seed
+    if args.sampler is not None:
+        spec.sampler = args.sampler
     return spec
 
 
@@ -111,6 +113,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the spec's root seed"
+    )
+    parser.add_argument(
+        "--sampler",
+        choices=["auto", "scan", "alias", "fenwick"],
+        default=None,
+        help="override the spec's batch-backend sampling strategy",
     )
     parser.add_argument(
         "--plot",

@@ -16,7 +16,7 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..engine.backends import BACKEND_NAMES
+from ..engine.backends import BACKEND_NAMES, SAMPLER_NAMES
 from ..engine.errors import ConfigurationError
 from ..engine.rng import SeedLike, derive_seed
 from .registry import resolve_protocol
@@ -189,6 +189,9 @@ class SweepSpec(GridSpec):
         seeds_per_cell: Seeded repetitions per cell.
         base_seed: Root seed; every cell seed is derived from it.
         backend: Simulation backend (``"agent"``, ``"batch"``, ``"auto"``).
+        sampler: Batch-backend weighted-sampling strategy (``"auto"``,
+            ``"scan"``, ``"alias"``, ``"fenwick"`` — see
+            :mod:`repro.engine.samplers`).  Ignored by agent-backend cells.
         params: Protocol parameters shared by every cell.
         param_grid: Optional per-parameter value lists; the grid is the
             cartesian product of these with ``ns``.
@@ -214,6 +217,7 @@ class SweepSpec(GridSpec):
     seeds_per_cell: int = 5
     base_seed: SeedLike = 0
     backend: str = "auto"
+    sampler: str = "auto"
     params: Dict[str, Any] = field(default_factory=dict)
     param_grid: Dict[str, List[Any]] = field(default_factory=dict)
     budget: BudgetPolicy = field(default_factory=BudgetPolicy)
@@ -230,6 +234,10 @@ class SweepSpec(GridSpec):
         if self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.sampler not in SAMPLER_NAMES:
+            raise ConfigurationError(
+                f"unknown sampler {self.sampler!r}; expected one of {SAMPLER_NAMES}"
             )
 
     # ------------------------------------------------------------------ grid

@@ -100,6 +100,7 @@ def _run_one(
         scheduler=scheduler,
         hooks=[tracker],
         backend=backend,
+        sampler=spec.sampler,
     )
     convergence_factory = None
     if entry.convergence is not None:

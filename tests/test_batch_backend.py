@@ -105,19 +105,10 @@ def test_degenerate_single_pair_type_is_exact():
     assert result.interactions == 1
 
 
-def _ks_statistic(first, second):
-    """Two-sample Kolmogorov-Smirnov statistic (no scipy dependency)."""
-    first = sorted(first)
-    second = sorted(second)
-    points = sorted(set(first) | set(second))
-    statistic = 0.0
-    for point in points:
-        cdf_first = sum(1 for value in first if value <= point) / len(first)
-        cdf_second = sum(1 for value in second if value <= point) / len(second)
-        statistic = max(statistic, abs(cdf_first - cdf_second))
-    return statistic
+from repro.engine.stats import ks_statistic as _ks_statistic  # noqa: E402  (shared statistical harness)
 
 
+@pytest.mark.stats
 def test_convergence_time_distributions_are_compatible():
     # KS-style tolerance check on epidemic convergence interactions at n = 32.
     n = 32

@@ -170,18 +170,10 @@ def test_backup_terminal_histograms_match_exactly(make_protocol, n):
         assert all(key[1] == k_max for key in counts)
 
 
-def _ks_statistic(first, second):
-    first = sorted(first)
-    second = sorted(second)
-    points = sorted(set(first) | set(second))
-    statistic = 0.0
-    for point in points:
-        cdf_first = sum(1 for value in first if value <= point) / len(first)
-        cdf_second = sum(1 for value in second if value <= point) / len(second)
-        statistic = max(statistic, abs(cdf_first - cdf_second))
-    return statistic
+from repro.engine.stats import ks_statistic as _ks_statistic  # noqa: E402  (shared statistical harness)
 
 
+@pytest.mark.stats
 @pytest.mark.parametrize(
     "make_protocol, n, samples, budget_factor",
     [

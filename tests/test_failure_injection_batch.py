@@ -237,18 +237,10 @@ def test_injection_after_run_end_reports_unfired():
         assert not hook.fired
 
 
-def _ks_statistic(first, second):
-    first = sorted(first)
-    second = sorted(second)
-    points = sorted(set(first) | set(second))
-    statistic = 0.0
-    for point in points:
-        cdf_first = sum(1 for value in first if value <= point) / len(first)
-        cdf_second = sum(1 for value in second if value <= point) / len(second)
-        statistic = max(statistic, abs(cdf_first - cdf_second))
-    return statistic
+from repro.engine.stats import ks_statistic as _ks_statistic  # noqa: E402  (shared statistical harness)
 
 
+@pytest.mark.stats
 def test_agent_batch_injection_equivalence():
     # The same fault model — 4 uniformly chosen victims reset to state 0 at
     # interaction 100 — expressed per agent (agent backend) and per key

@@ -1,0 +1,440 @@
+"""The statistical test harness of the pluggable sampler architecture (PR 4).
+
+Correct weighted sampling dies silently — a broken sampler still converges
+and its means look fine; only the distribution drifts.  So every strategy is
+checked at the *distribution* level (chi-square goodness of fit against the
+exact target weights, KS compatibility of end-to-end convergence-time laws)
+on top of exact differential tests made possible by the canonical draw
+contract: all strategies evaluate the same inverse CDF, so static-weight
+draw sequences must be *identical*, not merely equidistributed.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.bench.samplers import StaticTableProtocol
+from repro.counting.backup import ExactBackupProtocol
+from repro.engine import (
+    CallbackHook,
+    ConfigurationError,
+    Simulator,
+    all_outputs_equal,
+    simulate,
+)
+from repro.engine.samplers import (
+    SAMPLER_NAMES,
+    AliasSampler,
+    FenwickSampler,
+    ScanSampler,
+    make_sampler,
+)
+from repro.engine.stats import (
+    chi_square_gof,
+    ks_pvalue,
+    ks_statistic,
+)
+
+STRATEGIES = ("scan", "alias", "fenwick")
+
+#: Generous significance threshold: a correct sampler fails a fixed-seed run
+#: with probability 10^-3; a broken one fails with p-values ~ 10^-30.
+ALPHA = 1e-3
+
+
+def _wide_weights(size, salt=0):
+    return {f"k{index}": (index * 37 + salt) % 11 + 1 for index in range(size)}
+
+
+# --------------------------------------------------------------------------
+# Chi-square goodness of fit (every strategy, both table sizes)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.stats
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("size", [12, 80])  # below / above the alias SMALL_TABLE
+def test_sampler_draws_from_exact_target_distribution(strategy, size):
+    weights = _wide_weights(size)
+    sampler = make_sampler(strategy, weights)
+    rng = random.Random(1234 + size)
+    observed = Counter(sampler.sample(rng) for _ in range(20_000))
+    p_value = chi_square_gof(observed, weights)
+    assert p_value > ALPHA, (strategy, size, p_value)
+
+
+@pytest.mark.stats
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sampler_distribution_survives_randomized_mutations(strategy):
+    # A scripted storm of updates (including zeroing and resurrecting keys)
+    # and wholesale rebuilds, then a goodness-of-fit check against the final
+    # weights: stale internal state would shift the distribution.
+    rng = random.Random(4242)
+    sampler = make_sampler(strategy, {f"s{index}": 1 for index in range(50)})
+    shadow = {f"s{index}": 1 for index in range(50)}
+    for step in range(600):
+        if step % 151 == 150:
+            shadow = {
+                f"r{step}-{index}": rng.randrange(1, 8)
+                for index in range(rng.randrange(40, 70))
+            }
+            sampler.rebuild(shadow)
+            continue
+        key = f"s{rng.randrange(70)}" if step < 151 else rng.choice(list(shadow))
+        weight = rng.randrange(0, 9)
+        sampler.update(key, weight)
+        if weight:
+            shadow[key] = weight
+        else:
+            shadow.pop(key, None)
+    if not shadow:  # pragma: no cover - the script above keeps keys alive
+        shadow = {"fallback": 1}
+        sampler.rebuild(shadow)
+    assert sampler.total == sum(shadow.values())
+    assert sampler.weights() == shadow
+    draw_rng = random.Random(97)
+    observed = Counter(sampler.sample(draw_rng) for _ in range(20_000))
+    p_value = chi_square_gof(observed, shadow)
+    assert p_value > ALPHA, (strategy, p_value)
+
+
+def test_ks_statistic_measures_between_distinct_values_only():
+    # Interaction counts tie often at small n; the gap must be measured
+    # after both CDFs step past a shared value, never mid-tie.
+    assert ks_statistic([1], [1]) == 0.0
+    assert ks_statistic([5, 5, 5], [5, 5, 5]) == 0.0
+    assert ks_statistic([1, 2], [1, 2]) == 0.0
+    assert ks_statistic([1], [2]) == 1.0
+    assert ks_statistic([1, 1, 2], [1, 2, 2]) == pytest.approx(1 / 3)
+
+
+def test_chi_square_harness_rejects_a_broken_distribution():
+    # The harness itself must have power: draws from visibly wrong weights
+    # (uniform instead of linear) must be rejected decisively.
+    weights = {index: index + 1 for index in range(20)}
+    rng = random.Random(5)
+    observed = Counter(rng.randrange(20) for _ in range(20_000))
+    assert chi_square_gof(observed, weights) < 1e-12
+
+
+# --------------------------------------------------------------------------
+# Fenwick differential: prefix sums vs a naive list under random mutations
+# --------------------------------------------------------------------------
+
+
+def test_fenwick_prefix_sums_match_naive_list_under_mutations():
+    rng = random.Random(31337)
+    fenwick = FenwickSampler()
+    naive = {}
+    keys = [f"m{index}" for index in range(90)]
+    for step in range(1_000):
+        if step % 211 == 210:
+            naive = {key: rng.randrange(1, 12) for key in rng.sample(keys, 25)}
+            fenwick.rebuild(naive)
+        else:
+            key = rng.choice(keys)
+            weight = rng.randrange(0, 10)
+            fenwick.update(key, weight)
+            if weight:
+                naive[key] = weight
+            else:
+                naive.pop(key, None)
+        assert fenwick.total == sum(naive.values()), step
+        assert fenwick.weights() == naive, step
+        # Every prefix sum must match a brute-force accumulation over the
+        # tree's own slot order (dead slots included — they contribute 0).
+        accumulated = 0
+        for slot in range(len(fenwick._keys)):
+            accumulated += fenwick._leaf[slot]
+            assert fenwick._prefix(slot + 1) == accumulated, (step, slot)
+
+
+def test_fenwick_compacts_dead_slots():
+    fenwick = FenwickSampler({index: 1 for index in range(100)})
+    for index in range(70):
+        fenwick.update(index, 0)
+    # Once more than half the slots died the structure compacted (dead keys
+    # zeroed afterwards stay as dead slots until the next threshold).
+    assert len(fenwick._keys) < 100
+    assert fenwick.total == 30
+    assert fenwick.weights() == {index: 1 for index in range(70, 100)}
+
+
+# --------------------------------------------------------------------------
+# Cross-strategy equivalence: identical sequences when static, KS when not
+# --------------------------------------------------------------------------
+
+
+def test_static_weight_draw_sequences_are_identical_across_strategies():
+    # The canonical draw contract: same weights + same stream => the same
+    # key sequence from every strategy, bit for bit.
+    weights = _wide_weights(80)
+    sequences = []
+    for strategy in STRATEGIES:
+        sampler = make_sampler(strategy, dict(weights))
+        rng = random.Random(7)
+        sequences.append([sampler.sample(rng) for _ in range(4_000)])
+    assert sequences[0] == sequences[1] == sequences[2]
+
+
+def test_static_protocol_interaction_sequences_identical_across_strategies():
+    # End to end: a pruning-regime protocol whose transitions swap the two
+    # keys never changes the configuration, so the pair-weight table stays
+    # static and the full applied-event sequence must agree across
+    # strategies for one seed (12 keys -> 144 pair types, above the alias
+    # small-table threshold).
+    sequences = {}
+    for strategy in STRATEGIES:
+        events = []
+        hook = CallbackHook(
+            on_batch_event=lambda sim, a, b, na, nb: events.append((a, b))
+        )
+        result = simulate(
+            StaticTableProtocol(keys=12),
+            128,
+            seed=5,
+            backend="batch",
+            sampler=strategy,
+            max_interactions=3_000,
+            hooks=[hook],
+        )
+        assert result.interactions == 3_000
+        sequences[strategy] = events
+    assert sequences["scan"] == sequences["alias"] == sequences["fenwick"]
+    assert len(sequences["scan"]) == 3_000
+
+
+@pytest.mark.stats
+def test_backup_exact_convergence_distributions_match_across_strategies():
+    # Under churn the strategies' draw paths legitimately diverge (slot
+    # orders drift), so the claim becomes statistical: the convergence-time
+    # laws of backup-exact must be indistinguishable across strategies.
+    n = 96
+    samples = 30
+
+    def convergence_times(strategy, offset):
+        times = []
+        for seed in range(samples):
+            result = simulate(
+                ExactBackupProtocol(),
+                n,
+                seed=offset + seed,
+                backend="batch",
+                sampler=strategy,
+                convergence=all_outputs_equal(n),
+                check_interval=n,
+                confirm_checks=1,
+                max_interactions=3_000_000,
+            )
+            assert result.converged, (strategy, seed)
+            times.append(result.convergence_interaction)
+        return times
+
+    by_strategy = {
+        strategy: convergence_times(strategy, 1_000 * index)
+        for index, strategy in enumerate(STRATEGIES)
+    }
+    for first in STRATEGIES:
+        for second in STRATEGIES:
+            if first >= second:
+                continue
+            statistic = ks_statistic(by_strategy[first], by_strategy[second])
+            p_value = ks_pvalue(statistic, samples, samples)
+            assert p_value > ALPHA, (first, second, statistic, p_value)
+
+
+# --------------------------------------------------------------------------
+# The auto heuristic (regression): churn ends on Fenwick, static on alias
+# --------------------------------------------------------------------------
+
+
+def test_auto_switches_to_fenwick_on_weight_churn():
+    # backup-exact churns the pair table on nearly every event; once the
+    # table is wide enough the alias strategy thrashes and auto must have
+    # switched to the Fenwick tree by the end of the run.
+    result = simulate(
+        ExactBackupProtocol(),
+        256,
+        seed=11,
+        backend="batch",
+        sampler="auto",
+        max_interactions=150_000,
+    )
+    stats = result.extra["sampler"]
+    assert stats["requested"] == "auto"
+    assert stats["regime"] == "pruning"
+    assert stats["strategy"] == "fenwick"
+    assert stats["switched"] is True
+    assert stats["retired"][0]["strategy"] == "alias"
+    assert stats["retired"][0]["builds"] >= AliasSampler.CHURN_BUILDS
+
+
+def test_auto_stays_on_alias_for_static_weights():
+    # A static pair table never invalidates the alias table: one build, an
+    # unbounded run of table draws, no reason to switch.
+    result = simulate(
+        StaticTableProtocol(keys=12),
+        128,
+        seed=3,
+        backend="batch",
+        sampler="auto",
+        max_interactions=20_000,
+    )
+    stats = result.extra["sampler"]
+    assert stats["requested"] == "auto"
+    assert stats["strategy"] == "alias"
+    assert stats["switched"] is False
+    assert stats["builds"] == 1
+    assert stats["table_draws"] == 20_000
+
+
+def test_forced_strategies_are_respected_and_reported():
+    for strategy in STRATEGIES:
+        result = simulate(
+            ExactBackupProtocol(),
+            64,
+            seed=2,
+            backend="batch",
+            sampler=strategy,
+            max_interactions=5_000,
+        )
+        stats = result.extra["sampler"]
+        assert stats["requested"] == strategy
+        assert stats["strategy"] == strategy
+        assert stats["switched"] is False
+
+
+# --------------------------------------------------------------------------
+# The alias fallback re-probe counter (PR 4 fix)
+# --------------------------------------------------------------------------
+
+
+def test_alias_fallback_scan_counter_resets_on_rebuild():
+    sampler = AliasSampler(_wide_weights(40))
+    rng = random.Random(0)
+    # Eight dirty draws in a row: every one rebuilds (one draw per build),
+    # which is exactly the thrash signature.
+    for index in range(AliasSampler.CHURN_BUILDS):
+        sampler.update("k0", 100 + index)
+        sampler.sample(rng)
+    assert sampler.builds == AliasSampler.CHURN_BUILDS
+    assert sampler.thrashing
+    # Churning: dirty draws now fall back to scans ...
+    sampler.update("k0", 7)
+    for index in range(AliasSampler.REPROBE_PERIOD - 1):
+        sampler.sample(rng)
+        sampler.update("k0", 8 + index % 3)
+    assert sampler.builds == AliasSampler.CHURN_BUILDS
+    assert sampler.scans == AliasSampler.REPROBE_PERIOD - 1
+    # ... and the REPROBE_PERIOD-th re-probes a rebuild, which must reset
+    # the streak counter so the next churn era gets a full-period cadence
+    # (the counter used to carry over and misalign future re-probes).
+    sampler.sample(rng)
+    assert sampler.builds == AliasSampler.CHURN_BUILDS + 1
+    assert sampler.scans == 0
+
+
+# --------------------------------------------------------------------------
+# Knob plumbing and validation
+# --------------------------------------------------------------------------
+
+
+def test_unknown_sampler_names_are_rejected_everywhere():
+    with pytest.raises(ConfigurationError):
+        make_sampler("bogus")
+    with pytest.raises(ConfigurationError):
+        Simulator(ExactBackupProtocol(), 8, backend="batch", sampler="bogus")
+    with pytest.raises(ConfigurationError):
+        simulate(ExactBackupProtocol(), 8, backend="batch", sampler="vose")
+
+
+def test_sampler_names_cover_all_strategies():
+    assert set(STRATEGIES) < set(SAMPLER_NAMES)
+    assert "auto" in SAMPLER_NAMES
+
+
+def test_agent_backend_accepts_but_ignores_the_sampler_knob():
+    # Mixed agent/batch scenario grids share one spec, so the agent backend
+    # must accept any valid knob value without reporting sampler stats.
+    result = simulate(
+        ExactBackupProtocol(), 16, seed=0, backend="agent", sampler="fenwick",
+        max_interactions=500,
+    )
+    assert "sampler" not in result.extra
+
+
+def test_sampler_rejects_negative_weights_and_empty_draws():
+    sampler = ScanSampler({"a": 1})
+    with pytest.raises(ConfigurationError):
+        sampler.update("a", -1)
+    sampler.update("a", 0)
+    with pytest.raises(ConfigurationError):
+        sampler.sample(random.Random(0))
+    with pytest.raises(ConfigurationError):
+        FenwickSampler({"a": -2})
+
+
+def test_dense_regime_reports_sampler_stats():
+    # A protocol with the conservative can_interaction_change runs the dense
+    # regime; the sampler record must say so.
+    from repro.experiments.registry import resolve_protocol
+
+    entry = resolve_protocol("approximate")
+    result = simulate(
+        entry.build(64, {}), 64, seed=1, backend="batch", sampler="fenwick",
+        max_interactions=2_000,
+    )
+    stats = result.extra["sampler"]
+    assert stats["regime"] == "dense"
+    assert stats["strategy"] == "fenwick"
+    assert stats["draws"] >= 2_000  # two participants per interaction
+
+
+def test_spec_layers_carry_the_sampler_knob():
+    from repro.experiments.spec import SweepSpec
+    from repro.scenarios.spec import ScenarioSpec
+
+    sweep = SweepSpec(
+        name="s", protocol="backup-exact", ns=[16], sampler="fenwick"
+    )
+    assert SweepSpec.from_json(sweep.to_json()).sampler == "fenwick"
+    with pytest.raises(ConfigurationError):
+        SweepSpec(name="s", protocol="backup-exact", ns=[16], sampler="nope")
+
+    scenario = ScenarioSpec(
+        name="c",
+        protocol="backup-exact",
+        ns=[16],
+        sampler="fenwick",
+        events=[{"kind": "restart", "at_interactions": 10}],
+    )
+    assert ScenarioSpec.from_json(scenario.to_json()).sampler == "fenwick"
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec(
+            name="c",
+            protocol="backup-exact",
+            ns=[16],
+            sampler="nope",
+            events=[{"kind": "restart", "at_interactions": 10}],
+        )
+
+
+def test_sweep_payload_threads_the_sampler_to_workers():
+    from repro.experiments.runner import _cell_payload, execute_cell
+    from repro.experiments.spec import SweepSpec
+
+    spec = SweepSpec(
+        name="s",
+        protocol="backup-exact",
+        ns=[16],
+        seeds_per_cell=1,
+        backend="batch",
+        sampler="fenwick",
+        max_checks=10,
+    )
+    payload = _cell_payload(spec, spec.cells()[0])
+    assert payload["sampler"] == "fenwick"
+    record = execute_cell(payload)
+    assert record["error"] is None
+    assert record["runs"][0]["extra"]["sampler"]["strategy"] == "fenwick"

@@ -210,19 +210,10 @@ def test_wall_time_budget_stops_run():
 # --------------------------------------------------------------------------
 
 
-def _ks_statistic(first, second):
-    """Two-sample Kolmogorov-Smirnov statistic (no scipy dependency)."""
-    first = sorted(first)
-    second = sorted(second)
-    points = sorted(set(first) | set(second))
-    statistic = 0.0
-    for point in points:
-        cdf_first = sum(1 for value in first if value <= point) / len(first)
-        cdf_second = sum(1 for value in second if value <= point) / len(second)
-        statistic = max(statistic, abs(cdf_first - cdf_second))
-    return statistic
+from repro.engine.stats import ks_statistic as _ks_statistic  # noqa: E402  (shared statistical harness)
 
 
+@pytest.mark.stats
 def test_reconvergence_time_distributions_match_across_backends():
     # Identical churn (16 uninformed joiners at t=600) on both backends; the
     # recovery-time distributions after the event must be compatible.

@@ -9,18 +9,25 @@ from setuptools import find_namespace_packages, setup
 
 setup(
     name="repro-berenbrink-kr19",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Reproduction of Berenbrink, Kaaser, Radzik (PODC 2019) population "
         "protocols with a batched configuration-vector simulation backend "
-        "(pluggable scan/alias/Fenwick weighted samplers), a parallel "
-        "experiment-sweep subsystem, and a dynamic-population "
+        "(pluggable scan/alias/Fenwick/vector weighted samplers, optional "
+        "NumPy-vectorised batch kernels with a pure-Python fallback), a "
+        "parallel experiment-sweep subsystem, and a dynamic-population "
         "chaos-scenario subsystem"
     ),
     package_dir={"": "src"},
     packages=find_namespace_packages(where="src"),
     python_requires=">=3.10",  # dataclass(slots=True) throughout
-    extras_require={"test": ["pytest"]},
+    extras_require={
+        "test": ["pytest"],
+        # The acceleration layer is optional by design: the core library
+        # stays dependency-free and falls back to the pure-Python hot loop
+        # (continuously exercised by the CI matrix) when NumPy is absent.
+        "accel": ["numpy"],
+    },
     entry_points={
         "console_scripts": [
             "repro-bench=repro.bench.cli:main",

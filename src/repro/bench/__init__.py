@@ -10,6 +10,11 @@ across PRs.
 (:mod:`repro.bench.samplers`): scan vs alias vs Fenwick vs auto on churning,
 dynamic-population, dense, and static workloads, written to
 ``BENCH_samplers.json``.
+
+``repro-bench --accel`` runs the acceleration benchmark
+(:mod:`repro.bench.vectorized`): the pure-Python hot loop vs the
+NumPy-vectorised kernels on the headline counting workloads, written to
+``BENCH_vectorized.json``.
 """
 
 from .runner import (
@@ -18,6 +23,11 @@ from .runner import (
     default_cases,
     run_benchmark,
     smoke_cases,
+)
+from .vectorized import (
+    StaticDenseProtocol,
+    run_vectorized_benchmark,
+    vectorized_cases,
 )
 from .samplers import (
     SamplerBenchCase,
@@ -36,4 +46,7 @@ __all__ = [
     "SamplerBenchEntry",
     "run_sampler_benchmark",
     "sampler_cases",
+    "StaticDenseProtocol",
+    "run_vectorized_benchmark",
+    "vectorized_cases",
 ]

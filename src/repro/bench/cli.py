@@ -1,17 +1,30 @@
 """``repro-bench`` console entry point.
 
-Runs the backend benchmark grid and writes ``BENCH_batch_backend.json``
-(at the current working directory by default — run it from the repo root so
-the perf trajectory is tracked across PRs).  With ``--samplers`` it runs the
-sampler-strategy grid instead and writes ``BENCH_samplers.json``.
+Runs one of three benchmark grids and writes a JSON report *exactly at*
+``--output`` (parent directories are created; nothing is implicitly dropped
+into the CWD, so CI matrix legs writing to per-leg paths cannot clobber
+each other):
+
+* the default grid compares the per-agent and batched backends and writes
+  ``BENCH_batch_backend.json``;
+* ``--samplers`` compares the batch backend's Python sampling strategies
+  (scan/alias/fenwick/vector/auto) and writes ``BENCH_samplers.json``;
+* ``--accel`` compares ``accel="python"`` against the NumPy-vectorised
+  kernels and writes ``BENCH_vectorized.json`` (requires NumPy).
+
+With ``--check-budget`` (default grid only) the smoke wall times are
+compared against the generous per-workload budgets committed in
+:data:`repro.bench.runner.SMOKE_BUDGETS_S`; the table is printed either way
+and the run fails on gross (> 5x budget) regressions — the CI perf canary.
 
 Usage::
 
     repro-bench                 # full grid, n up to 10**6 on the batch backend
     repro-bench --smoke         # < 30 s grid for CI pushes
+    repro-bench --smoke --check-budget
     repro-bench --samplers      # scan vs alias vs Fenwick strategy grid
-    repro-bench --smoke --samplers
-    repro-bench --output out.json --seed 7
+    repro-bench --accel         # pure-Python vs NumPy-vectorised kernels
+    repro-bench --output reports/bench.json --seed 7
 """
 
 from __future__ import annotations
@@ -21,39 +34,91 @@ import sys
 import time
 from typing import List, Optional
 
-from .runner import run_benchmark, write_report
+from ..engine.errors import ReproError
+from .runner import (
+    BUDGET_FAIL_FACTOR,
+    check_smoke_budgets,
+    run_benchmark,
+    write_report,
+)
 from .samplers import run_sampler_benchmark
+from .vectorized import run_vectorized_benchmark
 
 __all__ = ["main"]
 
 DEFAULT_OUTPUT = "BENCH_batch_backend.json"
 SAMPLERS_OUTPUT = "BENCH_samplers.json"
+VECTORIZED_OUTPUT = "BENCH_vectorized.json"
+
+
+def _print_budget_table(rows) -> None:
+    print("perf canary (fail above {:g}x budget):".format(BUDGET_FAIL_FACTOR))
+    for row in rows:
+        protocol, backend, n = row["workload"]
+        wall = f"{row['wall_time_s']:7.3f}s" if row["wall_time_s"] is not None else "   (not run)"
+        budget = f"{row['budget_s']:.1f}s" if row["budget_s"] is not None else "(none)"
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "  -  "
+        verdict = "ok" if row["ok"] else ("STALE BUDGET" if row.get("stale") else "REGRESSION")
+        print(
+            f"  {protocol:32s} {backend:6s} n={n:<7d} "
+            f"wall={wall} budget={budget:>7s} {ratio:>7s} {verdict}"
+        )
+
+
+def _report_headline_and_exit(report, output: str, elapsed: float, headline_line) -> int:
+    """Shared epilogue: headline status, wrote-line, exit 1 below target."""
+    headline = report["headline"]
+    if headline is not None:
+        status = "OK" if report["headline_met"] else "BELOW TARGET"
+        print(f"{headline_line(headline, report)} [{status}]")
+    print(f"wrote {output} ({len(report['entries'])} entries, {elapsed:.1f}s)")
+    if report["headline_met"] is False:
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Benchmark the per-agent vs batched simulation backends.",
+        description="Benchmark the simulation backends, samplers, and accel paths.",
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="run the quick (< 30 s) grid used on CI pushes",
     )
-    parser.add_argument(
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
         "--samplers",
         action="store_true",
         help=(
             "benchmark the batch backend's sampling strategies (scan/alias/"
-            f"fenwick/auto) instead of the backends; writes {SAMPLERS_OUTPUT}"
+            f"fenwick/vector/auto) instead of the backends; writes {SAMPLERS_OUTPUT}"
+        ),
+    )
+    mode.add_argument(
+        "--accel",
+        action="store_true",
+        help=(
+            "benchmark the pure-Python hot loop against the NumPy-vectorised "
+            f"kernels (requires NumPy); writes {VECTORIZED_OUTPUT}"
+        ),
+    )
+    parser.add_argument(
+        "--check-budget",
+        action="store_true",
+        help=(
+            "compare smoke wall times against the committed per-workload "
+            "budgets and fail on gross regressions (default grid only)"
         ),
     )
     parser.add_argument(
         "--output",
         default=None,
         help=(
-            "path of the JSON report "
-            f"(default: {DEFAULT_OUTPUT}, or {SAMPLERS_OUTPUT} with --samplers)"
+            "path of the JSON report (default: "
+            f"{DEFAULT_OUTPUT}, {SAMPLERS_OUTPUT} with --samplers, or "
+            f"{VECTORIZED_OUTPUT} with --accel); parent directories are created"
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
@@ -61,6 +126,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true", help="suppress per-case progress output"
     )
     args = parser.parse_args(argv)
+    if args.check_budget and (args.samplers or args.accel or not args.smoke):
+        # Budgets are committed for the smoke grid only: on any other grid
+        # the canary would match nothing and pass vacuously.
+        parser.error("--check-budget applies to the default --smoke grid only")
 
     progress = None if args.quiet else lambda line: print(line, flush=True)
     started = time.perf_counter()
@@ -69,6 +138,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = run_sampler_benchmark(
             smoke=args.smoke, base_seed=args.seed, progress=progress
         )
+    elif args.accel:
+        output = args.output or VECTORIZED_OUTPUT
+        try:
+            report = run_vectorized_benchmark(
+                smoke=args.smoke, base_seed=args.seed, progress=progress
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     else:
         output = args.output or DEFAULT_OUTPUT
         report = run_benchmark(smoke=args.smoke, base_seed=args.seed, progress=progress)
@@ -92,20 +170,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         return 0
 
-    headline = report["headline"]
-    if headline is not None:
-        status = "OK" if report["headline_met"] else "BELOW TARGET"
-        print(
+    if args.accel:
+        return _report_headline_and_exit(
+            report,
+            output,
+            elapsed,
+            lambda headline, rep: (
+                f"headline: {headline['case']} n={headline['n']} numpy speedup "
+                f"{headline['speedup']}x (target {rep['target_speedup']}x)"
+            ),
+        )
+
+    # Default grid: the smoke variant has no headline-size case, so the
+    # headline check only bites on the full grid; the budget canary (smoke
+    # only) stacks its own failure on top.
+    status = _report_headline_and_exit(
+        report,
+        output,
+        elapsed,
+        lambda headline, rep: (
             f"headline: {headline['protocol']} n={headline['n']} "
             f"transition-call reduction {headline['transition_call_reduction']}x "
-            f"(target {report['target_reduction']}x) [{status}]"
-        )
-    print(f"wrote {output} ({len(report['entries'])} entries, {elapsed:.1f}s)")
-    # The smoke grid has no headline-size case; only fail when the full grid
-    # measured the headline and missed the target.
-    if headline is not None and not report["headline_met"]:
-        return 1
-    return 0
+            f"(target {rep['target_reduction']}x)"
+        ),
+    )
+    if args.check_budget:
+        rows, budgets_ok = check_smoke_budgets(report)
+        _print_budget_table(rows)
+        if not budgets_ok:
+            print("perf canary FAILED: gross wall-time regression", file=sys.stderr)
+            return 1
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

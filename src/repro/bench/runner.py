@@ -11,10 +11,11 @@ same (protocol, n) under both backends are paired into *comparisons* whose
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..engine.convergence import OutputPredicate, all_outputs_equal, outputs_in
 from ..engine.protocol import Protocol
@@ -29,6 +30,7 @@ __all__ = [
     "default_cases",
     "smoke_cases",
     "run_benchmark",
+    "check_smoke_budgets",
 ]
 
 #: The acceptance target: batch must execute at least this many times fewer
@@ -36,6 +38,27 @@ __all__ = [
 TARGET_REDUCTION = 50.0
 HEADLINE_PROTOCOL = "one-way-epidemic"
 HEADLINE_N = 100_000
+
+#: Generous per-workload wall-time budgets (seconds) for the smoke grid —
+#: the CI perf canary.  Each budget is ~10-50x the current measured wall
+#: time on a development machine, leaving ample headroom for slower CI
+#: runners; the canary only fails a workload at *gross* regressions, i.e.
+#: wall time above :data:`BUDGET_FAIL_FACTOR` times its budget.
+SMOKE_BUDGETS_S: Dict[Tuple[str, str, int], float] = {
+    ("one-way-epidemic", "agent", 256): 0.5,
+    ("one-way-epidemic", "agent", 1_024): 1.0,
+    ("one-way-epidemic", "batch", 256): 1.0,
+    ("one-way-epidemic", "batch", 1_024): 1.5,
+    ("one-way-epidemic", "batch", 8_192): 6.0,
+    ("junta-process", "agent", 512): 0.5,
+    ("junta-process", "batch", 512): 1.5,
+    ("powers-of-two-load-balancing", "agent", 512): 0.5,
+    ("powers-of-two-load-balancing", "batch", 512): 0.5,
+}
+
+#: A smoke workload fails the canary when its wall time exceeds this factor
+#: times its committed budget.
+BUDGET_FAIL_FACTOR = 5.0
 
 
 @dataclass
@@ -279,8 +302,74 @@ def run_benchmark(
     return report
 
 
+def check_smoke_budgets(
+    report: Dict[str, Any],
+) -> Tuple[List[Dict[str, Any]], bool]:
+    """Compare a smoke report's wall times against the committed budgets.
+
+    Returns ``(rows, ok)``: one row per entry with its budget, the
+    wall/budget ratio, and a verdict; ``ok`` is ``False`` when any workload
+    exceeded :data:`BUDGET_FAIL_FACTOR` times its budget (a gross
+    regression).  Workloads without a committed budget are reported but
+    never fail — adding a smoke case must not silently break the canary.
+    The inverse drift *does* fail: a committed budget matching no entry
+    means the grid was renamed or resized under the canary, which would
+    otherwise silently turn it into a no-op.
+    """
+    rows: List[Dict[str, Any]] = []
+    ok = True
+    seen = set()
+    for entry in report.get("entries", []):
+        key = (entry["protocol"], entry["backend"], entry["n"])
+        seen.add(key)
+        budget = SMOKE_BUDGETS_S.get(key)
+        wall = entry["wall_time_s"]
+        if budget is None:
+            rows.append(
+                {
+                    "workload": key,
+                    "wall_time_s": wall,
+                    "budget_s": None,
+                    "ratio": None,
+                    "ok": True,
+                }
+            )
+            continue
+        ratio = wall / budget if budget > 0 else float("inf")
+        passed = ratio <= BUDGET_FAIL_FACTOR
+        ok = ok and passed
+        rows.append(
+            {
+                "workload": key,
+                "wall_time_s": wall,
+                "budget_s": budget,
+                "ratio": round(ratio, 2),
+                "ok": passed,
+            }
+        )
+    for key in sorted(set(SMOKE_BUDGETS_S) - seen, key=repr):
+        ok = False
+        rows.append(
+            {
+                "workload": key,
+                "wall_time_s": None,
+                "budget_s": SMOKE_BUDGETS_S[key],
+                "ratio": None,
+                "ok": False,
+                "stale": True,
+            }
+        )
+    return rows, ok
+
+
 def write_report(report: Dict[str, Any], path: str) -> None:
-    """Write the report as indented JSON."""
+    """Write the report as indented JSON, creating parent directories.
+
+    Reports land exactly at ``path`` (never the CWD), so CI matrix legs can
+    write to disjoint per-leg paths without clobbering each other.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -42,6 +42,7 @@ from ..counting.backup import ExactBackupProtocol
 from ..engine.protocol import Protocol
 from ..engine.samplers import SAMPLER_NAMES
 from ..engine.simulator import simulate
+from ..engine.vectorized import numpy_available
 from ..experiments.registry import resolve_protocol
 from ..experiments.spec import BudgetPolicy
 from ..scenarios.events import expand_events
@@ -57,9 +58,12 @@ __all__ = [
 ]
 
 #: Knob values every case runs under (the engine's registry, forced
-#: strategies first so a strategy added there is benchmarked automatically).
+#: strategies first so a strategy added there is benchmarked automatically;
+#: the NumPy-backed "vector" strategy only when NumPy is importable).
 SAMPLER_STRATEGIES = tuple(
-    name for name in SAMPLER_NAMES if name != "auto"
+    name
+    for name in SAMPLER_NAMES
+    if name != "auto" and (name != "vector" or numpy_available())
 ) + ("auto",)
 
 #: Acceptance tolerances of the headline (see module docstring).
@@ -232,6 +236,9 @@ def run_entry(case: SamplerBenchCase, sampler: str, base_seed: int = 0) -> Sampl
         seed=base_seed,
         backend="batch",
         sampler=sampler,
+        # This benchmark compares the *Python* sampler strategies against
+        # each other; the NumPy layer has its own benchmark (--accel).
+        accel="python",
         max_interactions=case.max_interactions,
         timeline=timeline,
     )

@@ -24,6 +24,14 @@ from .samplers import (
     WeightedSampler,
     make_sampler,
 )
+from .vectorized import (
+    ACCEL_NAMES,
+    DenseBlockKernel,
+    FactorisedPairKernel,
+    VectorSampler,
+    numpy_available,
+    resolve_accel,
+)
 from .convergence import (
     ConvergenceTracker,
     accuracy_fraction,
@@ -88,6 +96,12 @@ __all__ = [
     "ScanSampler",
     "WeightedSampler",
     "make_sampler",
+    "ACCEL_NAMES",
+    "DenseBlockKernel",
+    "FactorisedPairKernel",
+    "VectorSampler",
+    "numpy_available",
+    "resolve_accel",
     "ConvergenceTracker",
     "accuracy_fraction",
     "all_outputs_equal",

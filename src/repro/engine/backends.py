@@ -48,6 +48,14 @@ from .samplers import (
     WeightedSampler,
     make_sampler,
 )
+from .vectorized import (
+    ACCEL_NAMES,
+    AccelCapacityError,
+    DenseBlockKernel,
+    FactorisedPairKernel,
+    numpy_available,
+    resolve_accel,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
     from .scheduler import Scheduler
@@ -61,6 +69,7 @@ __all__ = [
     "AliasTable",
     "BACKEND_NAMES",
     "SAMPLER_NAMES",
+    "ACCEL_NAMES",
 ]
 
 #: Valid values for the ``backend=`` argument of the simulator.
@@ -454,6 +463,21 @@ class BatchBackend(Backend):
     signature of a churning pair table (``backup-exact`` at ``n >= 10^4``,
     scenario churn).  The final strategy and its counters are reported by
     :meth:`sampler_stats` (surfaced as ``SimulationResult.extra["sampler"]``).
+
+    The ``accel`` knob selects the hot-loop implementation (see
+    :mod:`repro.engine.vectorized`): ``"auto"`` (default) uses the NumPy
+    kernels when NumPy is importable *and* the sampler knob was left on
+    ``"auto"`` — the dense regime then draws participant pairs
+    in vectorised blocks, and the pruning regime replaces the materialised
+    pair-weight table (and its O(changed * K) per-event
+    :meth:`_update_pair_weights` walk) with the factorised
+    ``w(a, b) = c_a * c_b`` row/column-product kernel, whose count updates
+    are O(changed).  ``"python"`` forces the pure-Python path unchanged;
+    ``"numpy"`` makes the acceleration a hard requirement.  The active path
+    is reported by :meth:`accel_info` (surfaced as
+    ``SimulationResult.extra["accel"]``); a protocol whose live key set
+    outgrows the factorised kernel's activity matrix falls back to the
+    Python path mid-run and records the reason there.
     """
 
     name = "batch"
@@ -465,6 +489,7 @@ class BatchBackend(Backend):
         agent_rng: random.Random,
         track_state_space: bool = True,
         sampler: str = "auto",
+        accel: str = "auto",
     ) -> None:
         super().__init__(simulator)
         protocol = self.protocol
@@ -513,6 +538,20 @@ class BatchBackend(Backend):
         #: Requested strategy knob; ``"auto"`` enables the thrash-driven
         #: alias-to-Fenwick switch.
         self.sampler_mode = sampler
+        #: Requested acceleration knob (``accel_active`` is the live path).
+        self.accel_mode = accel
+        #: Resolved acceleration path: ``"numpy"`` or ``"python"``.  May
+        #: flip to ``"python"`` mid-run when a kernel outgrows its capacity
+        #: or the dense blocks thrash.
+        self.accel_active = resolve_accel(accel, sampler)
+        self._accel_fallback: Optional[str] = None
+        #: In the pruning regime under ``accel="auto"`` the factorised
+        #: kernel only *engages* once the Python alias table thrashes (the
+        #: PR-4 churn signal): vectorisation pays off exactly where the
+        #: pair table churns and is wide (the backup counting protocols),
+        #: and loses on the tiny or static tables where the alias strategy
+        #: is unbeatable (epidemic's single active pair, static-table).
+        self._accel_pending = False
         #: Stats snapshots of samplers retired by the ``auto`` switch.
         self._retired_samplers: List[Dict[str, Any]] = []
         # Pruning regime: sampler over active pair types.  Dense regime:
@@ -520,14 +559,39 @@ class BatchBackend(Backend):
         # is materialised.
         self._pair_sampler: Optional[WeightedSampler] = None
         self._count_sampler: Optional[WeightedSampler] = None
+        # NumPy kernels (accel path); at most one is live, matching the regime.
+        self._pair_kernel: Optional[FactorisedPairKernel] = None
+        self._dense_kernel: Optional[DenseBlockKernel] = None
         # Active ordered pair types and their integer weights; rebuilt lazily
         # in full once, then maintained incrementally per event.
         self._pair_weights: Dict[Tuple[Hashable, Hashable], int] = {}
         self._active_weight = 0
-        if self._prunes:
-            self._rebuild_pair_weights()
-        else:
-            self._count_sampler = make_sampler(sampler, self.counts)
+        if self.accel_active == "numpy":
+            if self._prunes and accel != "numpy":
+                # accel="auto": arm the kernel, engage on alias thrash.
+                self._accel_pending = True
+            else:
+                try:
+                    if self._prunes:
+                        self._pair_kernel = FactorisedPairKernel(
+                            dict(self.counts),
+                            self._can_change,
+                            seed=self._kernel_seed(),
+                        )
+                    else:
+                        self._dense_kernel = DenseBlockKernel(
+                            dict(self.counts), seed=self._kernel_seed()
+                        )
+                except AccelCapacityError as error:
+                    self._note_fallback(str(error))
+        if self._pair_kernel is None and self._dense_kernel is None:
+            if self._prunes:
+                self._rebuild_pair_weights()
+            else:
+                self._count_sampler = make_sampler(sampler, self.counts)
+            if not self._accel_pending:
+                self.accel_active = "python"
+        if not self._prunes:
             # An initial configuration may already be the provable fixed
             # point (single key, deterministic no-op self-interaction).
             self._check_dense_fixed_point()
@@ -622,12 +686,25 @@ class BatchBackend(Backend):
 
     # -------------------------------------------------------------- stepping
     def advance_to(self, target: int) -> None:
+        if self._pair_kernel is not None:
+            self._advance_pruning_numpy(target)
+            return
+        if self._dense_kernel is not None:
+            self._advance_dense_numpy(target)
+            return
         ordered_pairs = self.n * (self.n - 1)
         log = math.log
         log1p = math.log1p
         pair_rng = self._pair_rng
         prunes = self._prunes
         while self.interactions < target and not self.terminal:
+            if self._accel_pending:
+                sampler = self._pair_sampler
+                if isinstance(sampler, AliasSampler) and sampler.thrashing:
+                    self._engage_pair_kernel()
+                    if self._pair_kernel is not None:
+                        self._advance_pruning_numpy(target)
+                        return
             weight = self._active_weight if prunes else ordered_pairs
             if weight <= 0:
                 self.terminal = True
@@ -712,6 +789,46 @@ class BatchBackend(Backend):
             if count_a > 1 and rng.random() * count_a < count_a - 1:
                 return key_a, key_b
 
+    def _apply_transition(
+        self, key_a: Hashable, key_b: Hashable
+    ) -> Tuple[Hashable, Hashable, Tuple[Hashable, ...]]:
+        """Apply one pair type's transition to the histogram.
+
+        Shared by the Python and NumPy event loops: evaluates (memoising
+        when deterministic) ``delta_key``, updates the histogram and the
+        state-space tracker when the configuration changed, and returns
+        ``(new_a, new_b, changed)`` where ``changed`` is the (possibly
+        overlapping) 4-tuple of touched keys, or ``()`` when the interaction
+        was configuration-preserving.  Weight-structure maintenance is the
+        caller's job — it differs per path.
+        """
+        if self._deterministic:
+            result = self._delta_cache.get((key_a, key_b))
+            if result is None:
+                result = self._delta(key_a, key_b, self._agent_rng)
+                self.transition_calls += 1
+                self._delta_cache[(key_a, key_b)] = result
+        else:
+            result = self._delta(key_a, key_b, self._agent_rng)
+            self.transition_calls += 1
+        new_a, new_b = result
+        if (new_a == key_a and new_b == key_b) or (
+            new_a == key_b and new_b == key_a
+        ):
+            return new_a, new_b, ()
+        counts = self.counts
+        counts[key_a] -= 1
+        counts[key_b] -= 1
+        counts[new_a] += 1
+        counts[new_b] += 1
+        for key in (key_a, key_b):
+            if counts.get(key) == 0:
+                del counts[key]
+        if self.track_state_space:
+            self.state_space.observe(new_a)
+            self.state_space.observe(new_b)
+        return new_a, new_b, (key_a, key_b, new_a, new_b)
+
     def _apply_event(self) -> None:
         """Sample one interaction's pair type and apply its transition.
 
@@ -724,42 +841,169 @@ class BatchBackend(Backend):
             key_a, key_b = self._sample_pair_type()
         else:
             key_a, key_b = self._sample_dense_pair()
-        if self._deterministic:
-            result = self._delta_cache.get((key_a, key_b))
-            if result is None:
-                result = self._delta(key_a, key_b, self._agent_rng)
-                self.transition_calls += 1
-                self._delta_cache[(key_a, key_b)] = result
-        else:
-            result = self._delta(key_a, key_b, self._agent_rng)
-            self.transition_calls += 1
-        new_a, new_b = result
-        if not (
-            (new_a == key_a and new_b == key_b)
-            or (new_a == key_b and new_b == key_a)
-        ):
-            counts = self.counts
-            counts[key_a] -= 1
-            counts[key_b] -= 1
-            counts[new_a] += 1
-            counts[new_b] += 1
-            for key in (key_a, key_b):
-                if counts.get(key) == 0:
-                    del counts[key]
-            if self.track_state_space:
-                self.state_space.observe(new_a)
-                self.state_space.observe(new_b)
+        new_a, new_b, changed = self._apply_transition(key_a, key_b)
+        if changed:
             if self._prunes:
-                self._update_pair_weights((key_a, key_b, new_a, new_b))
+                self._update_pair_weights(changed)
             else:
                 sampler = self._count_sampler
-                for key in (key_a, key_b, new_a, new_b):
+                counts = self.counts
+                for key in changed:
                     sampler.update(key, counts.get(key, 0))
                 self._check_dense_fixed_point()
         simulator = self.simulator
         if simulator.hooks:
             for hook in simulator.hooks:
                 hook.on_batch_event(simulator, key_a, key_b, new_a, new_b)
+
+    # --------------------------------------------------- NumPy event loops
+    def _kernel_seed(self) -> int:
+        """Seed for a kernel's dedicated NumPy generator.
+
+        Drawn from the run's scheduler stream at the moment a kernel is
+        built — never on the pure-Python path, so ``accel="python"`` runs
+        stay stream-identical to earlier releases.
+        """
+        return self._pair_rng.getrandbits(64)
+
+    def _note_fallback(self, reason: str) -> None:
+        self._accel_fallback = reason
+        self._accel_pending = False
+        self.accel_active = "python"
+
+    def _engage_pair_kernel(self) -> None:
+        """Swap the thrashing Python pair structures for the NumPy kernel.
+
+        The ``accel="auto"`` engagement point: the alias table reported
+        thrash, so the pair table is churning — the exact workload where
+        the factorised kernel's O(changed) updates beat the O(changed * K)
+        Python walk.  The retired Python sampler's counters are kept for
+        :meth:`sampler_stats`, mirroring the alias-to-Fenwick switch.
+        """
+        self._accel_pending = False
+        try:
+            kernel = FactorisedPairKernel(
+                dict(self.counts), self._can_change, seed=self._kernel_seed()
+            )
+        except AccelCapacityError as error:
+            self._note_fallback(str(error))
+            return
+        if self._pair_sampler is not None:
+            retired = self._pair_sampler.stats()
+            retired["regime"] = "pruning"
+            retired["retired_by"] = "accel-engage"
+            self._retired_samplers.append(retired)
+        self._pair_kernel = kernel
+        self._pair_sampler = None
+        self._pair_weights = {}
+        self._active_weight = 0
+
+    def _fallback_to_python(self, reason: str) -> None:
+        """Abandon the NumPy kernels mid-run and rebuild the Python path.
+
+        Triggered when a kernel outgrows its capacity (an activity matrix
+        wider than :attr:`~repro.engine.vectorized.FactorisedPairKernel.
+        MATRIX_LIMIT` keys).  The configuration histogram is the source of
+        truth, so rebuilding the Python sampling structures from it is
+        exact; the reason is surfaced via :meth:`accel_info` and the
+        retired kernel's counters are kept in the sampler record (the
+        counters that *triggered* the fallback would otherwise vanish from
+        the result).
+        """
+        retired_kernel = self._pair_kernel or self._dense_kernel
+        if retired_kernel is not None:
+            retired = retired_kernel.stats()
+            retired["regime"] = "pruning" if self._prunes else "dense"
+            retired["retired_by"] = "accel-fallback"
+            self._retired_samplers.append(retired)
+        self._pair_kernel = None
+        self._dense_kernel = None
+        self._note_fallback(reason)
+        if self._prunes:
+            self._rebuild_pair_weights()
+        else:
+            self._count_sampler = make_sampler(self.sampler_mode, self.counts)
+
+    def _advance_pruning_numpy(self, target: int) -> None:
+        """Pruning-regime event loop over the factorised pair kernel."""
+        kernel = self._pair_kernel
+        simulator = self.simulator
+        counts = self.counts
+        while self.interactions < target and not self.terminal:
+            weight = kernel.active_weight()
+            if weight <= 0:
+                self.terminal = True
+                break
+            ordered_pairs = self.n * (self.n - 1)
+            skip = (
+                0 if weight >= ordered_pairs else kernel.next_skip(ordered_pairs)
+            )
+            remaining = target - self.interactions
+            if skip >= remaining:
+                # The whole window is configuration-preserving; the
+                # pending active event is re-sampled next call
+                # (memorylessness).
+                self.interactions = target
+                break
+            self.interactions += skip + 1
+            key_a, key_b = kernel.next_pair()
+            new_a, new_b, changed = self._apply_transition(key_a, key_b)
+            overflow: Optional[AccelCapacityError] = None
+            if changed:
+                try:
+                    for key in changed:
+                        kernel.set_count(key, counts.get(key, 0))
+                except AccelCapacityError as error:
+                    # The event is already applied to the histogram; note
+                    # the overflow but fire this event's hooks first so
+                    # hook-based trackers never undercount.
+                    overflow = error
+            if simulator.hooks:
+                for hook in simulator.hooks:
+                    hook.on_batch_event(simulator, key_a, key_b, new_a, new_b)
+            if overflow is not None:
+                self._fallback_to_python(str(overflow))
+                self.counter.total = self.interactions
+                self.advance_to(target)
+                return
+        self.counter.total = self.interactions
+
+    def _advance_dense_numpy(self, target: int) -> None:
+        """Dense-regime event loop over blocked histogram pair draws.
+
+        Falls back to the Python sampler path when the kernel reports
+        :attr:`~repro.engine.vectorized.DenseBlockKernel.thrashing` — a
+        configuration that changes on nearly every interaction invalidates
+        every block after one event, so the vectorised draws cost more than
+        the per-event sampler they replace.
+        """
+        kernel = self._dense_kernel
+        simulator = self.simulator
+        counts = self.counts
+        while self.interactions < target and not self.terminal:
+            if kernel.thrashing:
+                self._fallback_to_python(
+                    "dense block draws thrashed (the histogram changes on "
+                    "nearly every interaction)"
+                )
+                self.counter.total = self.interactions
+                self.advance_to(target)
+                return
+            if len(counts) == 1:
+                key = next(iter(counts))
+                key_a = key_b = key
+            else:
+                key_a, key_b = kernel.next_pair()
+            self.interactions += 1
+            new_a, new_b, changed = self._apply_transition(key_a, key_b)
+            if changed:
+                for key in changed:
+                    kernel.set_count(key, counts.get(key, 0))
+                self._check_dense_fixed_point()
+            if simulator.hooks:
+                for hook in simulator.hooks:
+                    hook.on_batch_event(simulator, key_a, key_b, new_a, new_b)
+        self.counter.total = self.interactions
 
     def _check_dense_fixed_point(self) -> None:
         """Detect the one provable fixed point available without pruning.
@@ -808,7 +1052,33 @@ class BatchBackend(Backend):
         self.counter.n = self.n
         self.terminal = False
         self.population_changes += 1
-        if self._prunes:
+        if self._pair_kernel is not None:
+            kernel = self._pair_kernel
+            counts = self.counts
+            try:
+                if full_rebuild:
+                    kernel.resync(counts)
+                else:
+                    for key in changed:
+                        kernel.set_count(key, counts.get(key, 0))
+            except AccelCapacityError as error:
+                self._fallback_to_python(str(error))
+                if self._active_weight <= 0:
+                    self.terminal = True
+                return
+            if kernel.active_weight() <= 0:
+                # Churn may land on an already-stable configuration.
+                self.terminal = True
+        elif self._dense_kernel is not None:
+            kernel = self._dense_kernel
+            if full_rebuild:
+                kernel.rebuild(self.counts)
+            else:
+                counts = self.counts
+                for key in changed:
+                    kernel.set_count(key, counts.get(key, 0))
+            self._check_dense_fixed_point()
+        elif self._prunes:
             if full_rebuild:
                 self._rebuild_pair_weights()
             else:
@@ -945,7 +1215,14 @@ class BatchBackend(Backend):
                 self.state_space.observe(new_key)
             changed += 1
         if changed:
-            if self._prunes:
+            if self._pair_kernel is not None:
+                try:
+                    self._pair_kernel.resync(counts)
+                except AccelCapacityError as error:
+                    self._fallback_to_python(str(error))
+            elif self._dense_kernel is not None:
+                self._dense_kernel.rebuild(counts)
+            elif self._prunes:
                 self._rebuild_pair_weights()
             else:
                 self._count_sampler.rebuild(counts)
@@ -961,16 +1238,47 @@ class BatchBackend(Backend):
         counters — the hook the regression tests use to pin the switching
         heuristic.
         """
-        sampler = self._pair_sampler if self._prunes else self._count_sampler
         record: Dict[str, Any] = {
             "requested": self.sampler_mode,
             "regime": "pruning" if self._prunes else "dense",
             "switched": bool(self._retired_samplers),
         }
-        if sampler is not None:
-            record.update(sampler.stats())
+        if self._pair_kernel is not None:
+            record["strategy"] = "factorised"
+            record.update(self._pair_kernel.stats())
+        elif self._dense_kernel is not None:
+            record["strategy"] = "vector"
+            record.update(self._dense_kernel.stats())
+        else:
+            sampler = self._pair_sampler if self._prunes else self._count_sampler
+            if sampler is not None:
+                record.update(sampler.stats())
         if self._retired_samplers:
             record["retired"] = list(self._retired_samplers)
+        return record
+
+    def accel_info(self) -> Dict[str, Any]:
+        """JSON-friendly record of the acceleration path this run is on.
+
+        ``active`` reflects the live hot loop (it flips to ``"python"``
+        after a mid-run capacity fallback); the CI matrix's guard test pins
+        it against the leg's intent so the two legs can never silently test
+        the same code.
+        """
+        record: Dict[str, Any] = {
+            "requested": self.accel_mode,
+            "active": self.accel_active,
+            "numpy_available": numpy_available(),
+            # Whether a NumPy kernel is driving the hot loop right now.
+            # Under accel="auto" the pruning kernel only engages once the
+            # alias table thrashes, so active="numpy" with engaged=False
+            # means "armed, but the Python path is still the better tool
+            # for this table" (tiny or static pair tables).
+            "engaged": self._pair_kernel is not None
+            or self._dense_kernel is not None,
+        }
+        if self._accel_fallback is not None:
+            record["fallback_reason"] = self._accel_fallback
         return record
 
     def state_key_counts(self) -> Counter:

@@ -66,7 +66,9 @@ __all__ = [
 #: Valid values for the ``sampler=`` knob of the simulator and the batch
 #: backend.  ``"auto"`` starts on the alias strategy and switches to the
 #: Fenwick tree when the weights churn faster than the alias table amortises.
-SAMPLER_NAMES = ("auto", "scan", "alias", "fenwick")
+#: ``"vector"`` is the NumPy cumulative-sum strategy of
+#: :mod:`repro.engine.vectorized` (requires the ``accel`` extra).
+SAMPLER_NAMES = ("auto", "scan", "alias", "fenwick", "vector")
 
 
 def _validate_weight(weight: int) -> None:
@@ -588,9 +590,17 @@ def make_sampler(
     ``"auto"`` returns an :class:`AliasSampler` — the caller (the batch
     backend) watches its :attr:`~AliasSampler.thrashing` flag and swaps in a
     :class:`FenwickSampler` when the weights churn too fast to amortise.
+    ``"vector"`` resolves to the NumPy-backed
+    :class:`~repro.engine.vectorized.VectorSampler` (imported lazily so the
+    core library stays dependency-free) and raises a
+    :class:`~repro.engine.errors.ConfigurationError` when NumPy is absent.
     """
     if name == "auto":
         return AliasSampler(weights)
+    if name == "vector":
+        from .vectorized import VectorSampler  # lazy: optional dependency
+
+        return VectorSampler(weights)
     try:
         strategy = _STRATEGIES[name]
     except KeyError:

@@ -24,7 +24,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .backends import BACKEND_NAMES, SAMPLER_NAMES, AgentBackend, Backend, BatchBackend
+from .backends import (
+    ACCEL_NAMES,
+    BACKEND_NAMES,
+    SAMPLER_NAMES,
+    AgentBackend,
+    Backend,
+    BatchBackend,
+)
 from .convergence import ConvergenceTracker, OutputPredicate
 from .errors import ConfigurationError, SimulationError, UniformityError
 from .hooks import Hook, TimelineEvent
@@ -212,6 +219,15 @@ class Simulator:
             affects the batch backend; the per-agent backend draws agent
             indices, not weighted types, and accepts any value unchanged
             (so mixed agent/batch scenario grids can share one spec).
+        accel: Hot-loop implementation of the batch backend (``"auto"``,
+            ``"numpy"``, ``"python"`` — see :mod:`repro.engine.vectorized`).
+            ``"auto"`` (default) selects the NumPy block-drawing kernels
+            when NumPy is importable and no specific sampler strategy was
+            forced, and the pure-Python path otherwise; the
+            ``REPRO_NO_NUMPY`` environment variable vetoes detection.  Like
+            ``sampler``, the knob is accepted (and ignored) by the
+            per-agent backend.  The active path is recorded in
+            ``SimulationResult.extra["accel"]``.
     """
 
     def __init__(
@@ -225,6 +241,7 @@ class Simulator:
         require_uniform: bool = False,
         backend: str = "agent",
         sampler: str = "auto",
+        accel: str = "auto",
     ) -> None:
         if n < 2:
             raise ConfigurationError("population size must be at least 2")
@@ -240,7 +257,12 @@ class Simulator:
             raise ConfigurationError(
                 f"unknown sampler {sampler!r}; expected one of {SAMPLER_NAMES}"
             )
+        if accel not in ACCEL_NAMES:
+            raise ConfigurationError(
+                f"unknown accel {accel!r}; expected one of {ACCEL_NAMES}"
+            )
         self.sampler = sampler
+        self.accel = accel
         self.protocol = protocol
         #: Population size the simulator was constructed with; the current
         #: size is the (dynamic) :attr:`n` property, which timeline churn
@@ -285,6 +307,7 @@ class Simulator:
                 agent_rng=self._agent_rng,
                 track_state_space=track_state_space,
                 sampler=sampler,
+                accel=accel,
             )
         else:
             self.scheduler = scheduler if scheduler is not None else UniformRandomScheduler()
@@ -629,6 +652,7 @@ class Simulator:
         }
         if isinstance(backend, BatchBackend):
             extra["sampler"] = backend.sampler_stats()
+            extra["accel"] = backend.accel_info()
         if events:
             extra["initial_n"] = self.initial_n
             extra["timeline"] = timeline_records
@@ -673,6 +697,7 @@ def simulate(
     require_uniform: bool = False,
     backend: str = "agent",
     sampler: str = "auto",
+    accel: str = "auto",
     timeline: Sequence[TimelineEvent] = (),
     convergence_factory: Optional[Callable[[Simulator], OutputPredicate]] = None,
     max_wall_time_s: Optional[float] = None,
@@ -680,8 +705,8 @@ def simulate(
     """One-shot convenience wrapper: construct a :class:`Simulator` and run it.
 
     See :meth:`Simulator.run` for the meaning of the arguments and the
-    ``backend`` / ``sampler`` parameters of :class:`Simulator` for backend
-    and batch-sampling-strategy selection.
+    ``backend`` / ``sampler`` / ``accel`` parameters of :class:`Simulator`
+    for backend, batch-sampling-strategy, and acceleration-path selection.
     """
     simulator = Simulator(
         protocol,
@@ -692,6 +717,7 @@ def simulate(
         require_uniform=require_uniform,
         backend=backend,
         sampler=sampler,
+        accel=accel,
     )
     return simulator.run(
         max_interactions=max_interactions,

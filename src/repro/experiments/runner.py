@@ -79,6 +79,7 @@ def _cell_payload(spec: SweepSpec, cell: SweepCell) -> Dict[str, Any]:
         "seeds": list(cell.seeds),
         "backend": spec.backend,
         "sampler": spec.sampler,
+        "accel": spec.accel,
         "budget": spec.budget.budget(cell.n),
         "check_interval": spec.check_interval(cell.n),
         "confirm_checks": spec.confirm_checks,
@@ -122,6 +123,7 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 seed=seed,
                 backend=payload["backend"],
                 sampler=payload.get("sampler", "auto"),
+                accel=payload.get("accel", "auto"),
                 convergence=convergence,
                 max_interactions=payload["budget"],
                 check_interval=payload["check_interval"],

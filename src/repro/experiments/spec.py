@@ -16,7 +16,7 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..engine.backends import BACKEND_NAMES, SAMPLER_NAMES
+from ..engine.backends import ACCEL_NAMES, BACKEND_NAMES, SAMPLER_NAMES
 from ..engine.errors import ConfigurationError
 from ..engine.rng import SeedLike, derive_seed
 from .registry import resolve_protocol
@@ -42,6 +42,25 @@ class BudgetPolicy:
         if n < 2:
             raise ConfigurationError("population size must be at least 2")
         return int(self.factor * n ** self.n_exponent * max(1.0, math.log2(n)) ** self.log_exponent)
+
+
+def _validate_accel(accel: str, sampler: str, spec_kind: str) -> None:
+    """Shared accel-knob validation for the declarative spec layers.
+
+    Validates the name and the accel/sampler conflict (mirroring
+    :func:`repro.engine.vectorized.resolve_accel`) without requiring NumPy:
+    availability is a property of the executing machine, not the spec.
+    """
+    if accel not in ACCEL_NAMES:
+        raise ConfigurationError(
+            f"unknown accel {accel!r}; expected one of {ACCEL_NAMES}"
+        )
+    if accel == "numpy" and sampler not in ("auto", "vector"):
+        raise ConfigurationError(
+            f"{spec_kind} forcing accel='numpy' cannot also force the Python "
+            f"sampler strategy {sampler!r}; use sampler='auto' or drop the "
+            f"accel override"
+        )
 
 
 def policy_from(value: Any, context: str) -> BudgetPolicy:
@@ -190,8 +209,12 @@ class SweepSpec(GridSpec):
         base_seed: Root seed; every cell seed is derived from it.
         backend: Simulation backend (``"agent"``, ``"batch"``, ``"auto"``).
         sampler: Batch-backend weighted-sampling strategy (``"auto"``,
-            ``"scan"``, ``"alias"``, ``"fenwick"`` — see
+            ``"scan"``, ``"alias"``, ``"fenwick"``, ``"vector"`` — see
             :mod:`repro.engine.samplers`).  Ignored by agent-backend cells.
+        accel: Batch-backend hot-loop implementation (``"auto"``,
+            ``"numpy"``, ``"python"`` — see :mod:`repro.engine.vectorized`).
+            ``"auto"`` selects the NumPy kernels when available and the
+            pure-Python path otherwise; ignored by agent-backend cells.
         params: Protocol parameters shared by every cell.
         param_grid: Optional per-parameter value lists; the grid is the
             cartesian product of these with ``ns``.
@@ -218,6 +241,7 @@ class SweepSpec(GridSpec):
     base_seed: SeedLike = 0
     backend: str = "auto"
     sampler: str = "auto"
+    accel: str = "auto"
     params: Dict[str, Any] = field(default_factory=dict)
     param_grid: Dict[str, List[Any]] = field(default_factory=dict)
     budget: BudgetPolicy = field(default_factory=BudgetPolicy)
@@ -239,6 +263,7 @@ class SweepSpec(GridSpec):
             raise ConfigurationError(
                 f"unknown sampler {self.sampler!r}; expected one of {SAMPLER_NAMES}"
             )
+        _validate_accel(self.accel, self.sampler, self._spec_kind)
 
     # ------------------------------------------------------------------ grid
     def cells(self) -> List[SweepCell]:

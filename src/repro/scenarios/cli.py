@@ -47,6 +47,8 @@ def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
         spec.base_seed = args.seed
     if args.sampler is not None:
         spec.sampler = args.sampler
+    if args.accel is not None:
+        spec.accel = args.accel
     return spec
 
 
@@ -115,9 +117,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--sampler",
-        choices=["auto", "scan", "alias", "fenwick"],
+        choices=["auto", "scan", "alias", "fenwick", "vector"],
         default=None,
         help="override the spec's batch-backend sampling strategy",
+    )
+    parser.add_argument(
+        "--accel",
+        choices=["auto", "numpy", "python"],
+        default=None,
+        help=(
+            "override the spec's batch-backend acceleration path "
+            "(auto: NumPy when available, pure Python otherwise)"
+        ),
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"

@@ -101,6 +101,7 @@ def _run_one(
         hooks=[tracker],
         backend=backend,
         sampler=spec.sampler,
+        accel=spec.accel,
     )
     convergence_factory = None
     if entry.convergence is not None:

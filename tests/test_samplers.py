@@ -259,6 +259,10 @@ def test_auto_switches_to_fenwick_on_weight_churn():
         seed=11,
         backend="batch",
         sampler="auto",
+        # Pin the Python hot loop: with accel="auto" on a NumPy machine the
+        # pruning regime runs the factorised kernel and never consults the
+        # alias/Fenwick heuristic under test here.
+        accel="python",
         max_interactions=150_000,
     )
     stats = result.extra["sampler"]
@@ -279,6 +283,7 @@ def test_auto_stays_on_alias_for_static_weights():
         seed=3,
         backend="batch",
         sampler="auto",
+        accel="python",  # the alias-vs-Fenwick heuristic is Python-path-only
         max_interactions=20_000,
     )
     stats = result.extra["sampler"]

@@ -9,14 +9,14 @@ from setuptools import find_namespace_packages, setup
 
 setup(
     name="repro-berenbrink-kr19",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of Berenbrink, Kaaser, Radzik (PODC 2019) population "
         "protocols with a batched configuration-vector simulation backend "
         "(pluggable scan/alias/Fenwick/vector weighted samplers, optional "
         "NumPy-vectorised batch kernels with a pure-Python fallback), a "
         "parallel experiment-sweep subsystem, and a dynamic-population "
-        "chaos-scenario subsystem"
+        "chaos-scenario subsystem with adversarial frontier search"
     ),
     package_dir={"": "src"},
     packages=find_namespace_packages(where="src"),

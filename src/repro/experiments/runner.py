@@ -26,9 +26,161 @@ from .aggregate import cell_stats
 from .registry import resolve_protocol
 from .spec import SweepCell, SweepSpec
 
-__all__ = ["SweepRunner", "execute_cell", "run_cell_seeds"]
+__all__ = ["PoolExecutor", "SweepRunner", "execute_cell", "run_cell_seeds"]
 
 Progress = Optional[Callable[[str], None]]
+
+
+class PoolExecutor:
+    """A reusable ``spawn``-pool front end for batches of cell tasks.
+
+    :class:`SweepRunner` needs one fan-out per run; the frontier search of
+    :mod:`repro.scenarios.search` schedules *many* small probe batches
+    sequentially and cannot afford a fresh pool (and its ``spawn`` import
+    cost) per probe.  ``PoolExecutor`` owns one long-lived pool, detects
+    tasks lost to a worker crash or a wall-time overrun (``apply_async``
+    results that raise or never materialise within the deadline), rebuilds
+    the pool, and retries just the affected payloads a bounded number of
+    times.  Deterministic failures inside the executor never reach this
+    layer — cell executors capture their own exceptions into the record's
+    ``error`` field — so a retry only ever re-runs work that produced no
+    record at all.
+
+    Args:
+        executor: Picklable module-level callable mapped over payloads.
+        workers: Worker process count; ``None`` uses ``os.cpu_count()``.
+            Below 2 runs serially in-process (also the automatic fallback
+            when the pool cannot be created, e.g. in sandboxes).
+        retries: How many times a lost task is re-submitted before a
+            synthetic error record is returned for it.
+        progress: Optional line-oriented progress callback.
+        pool_factory: Test seam; ``None`` uses ``spawn`` pools.  A factory
+            must return an object with ``apply_async`` / ``terminate`` /
+            ``join``.
+    """
+
+    def __init__(
+        self,
+        executor: Callable[[Dict[str, Any]], Dict[str, Any]],
+        workers: Optional[int] = None,
+        retries: int = 1,
+        progress: Progress = None,
+        pool_factory: Optional[Callable[[int], Any]] = None,
+    ) -> None:
+        self.executor = executor
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.retries = retries
+        self.progress = progress
+        self._pool_factory = pool_factory
+        self._pool: Any = None
+        self._serial = self.workers < 2 and pool_factory is None
+
+    def _report(self, line: str) -> None:
+        if self.progress:
+            self.progress(line)
+
+    def _ensure_pool(self) -> Any:
+        if self._serial or self._pool is not None:
+            return self._pool
+        try:
+            if self._pool_factory is not None:
+                self._pool = self._pool_factory(self.workers)
+            else:
+                context = multiprocessing.get_context("spawn")
+                self._pool = context.Pool(processes=self.workers)
+        except (OSError, ValueError) as error:
+            # Sandboxes without process support fall back to serial execution.
+            self._report(f"worker pool unavailable ({error}); running serially")
+            self._serial = True
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:  # noqa: BLE001 - the pool is already broken
+                pass
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        self._discard_pool()
+
+    def __enter__(self) -> "PoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def map(
+        self,
+        payloads: List[Dict[str, Any]],
+        timeout_s: Optional[float] = None,
+        on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run every payload; return records in payload order.
+
+        ``timeout_s`` bounds each task's result wait (measured from its
+        ``get``, so it is a coarse per-task bound, not a batch deadline);
+        without it a crashed ``spawn`` worker would hang the batch forever,
+        so pass one whenever crash recovery matters.  A task still missing
+        after :attr:`retries` re-submissions yields a synthetic record with
+        the failure in its ``error`` field instead of raising.
+        """
+        results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        pending = list(enumerate(payloads))
+        attempt = 0
+        while pending:
+            pool = self._ensure_pool()
+            if pool is None:
+                for index, payload in pending:
+                    results[index] = self.executor(payload)
+                    if on_result:
+                        on_result(results[index])
+                break
+            tasks = [
+                (index, payload, pool.apply_async(self.executor, (payload,)))
+                for index, payload in pending
+            ]
+            lost = []
+            last_error: Optional[BaseException] = None
+            for index, payload, task in tasks:
+                try:
+                    results[index] = task.get(timeout_s)
+                    if on_result:
+                        on_result(results[index])
+                except Exception as error:  # noqa: BLE001 - crash/timeout path
+                    lost.append((index, payload))
+                    last_error = error
+            if not lost:
+                break
+            self._discard_pool()
+            attempt += 1
+            if attempt > self.retries:
+                for index, payload in lost:
+                    results[index] = {
+                        "cell_id": payload.get("cell_id"),
+                        "n": payload.get("n"),
+                        "params": payload.get("params"),
+                        "seeds": payload.get("seeds"),
+                        "runs": [],
+                        "stats": None,
+                        "error": (
+                            f"worker lost after {attempt} attempts: "
+                            f"{last_error!r}"
+                        ),
+                        "wall_time_s": None,
+                    }
+                    if on_result:
+                        on_result(results[index])
+                break
+            self._report(
+                f"retrying {len(lost)} lost task(s) after worker failure "
+                f"({last_error!r}), attempt {attempt + 1}"
+            )
+            pending = lost
+        return [record for record in results if record is not None]
 
 
 def _timeout_message(cell_id: str, completed: int, total: int, timeout: float) -> str:
@@ -226,18 +378,12 @@ class SweepRunner:
         self._report(
             f"running {len(payloads)} cells on {workers} worker processes"
         )
-        try:
-            context = multiprocessing.get_context("spawn")
-            with context.Pool(processes=workers) as pool:
-                records = []
-                for record in pool.imap_unordered(type(self).executor, payloads):
-                    self._report(_outcome_line(record))
-                    records.append(record)
-                return records
-        except (OSError, ValueError) as error:
-            # Sandboxes without process support fall back to serial execution.
-            self._report(f"worker pool unavailable ({error}); running serially")
-            return self._run_serial(payloads)
+        with PoolExecutor(
+            type(self).executor, workers=workers, progress=self.progress
+        ) as pool:
+            return pool.map(
+                payloads, on_result=lambda record: self._report(_outcome_line(record))
+            )
 
 
 def _outcome_line(record: Dict[str, Any]) -> str:

@@ -3,21 +3,49 @@
 The paper's counting protocols matter precisely because population sizes
 change; this package perturbs *running* populations and measures recovery.
 A declarative :class:`ScenarioSpec` (JSON round-trip) composes a registered
-protocol with a timeline of events — agent churn (join/leave/replace, with
-optional detected-membership restarts), repeated fault campaigns
-(generalising the one-shot ``FailureInjectionHook``), and adversarial
-scheduler reconfiguration (partition/merge) — and the runner executes the
-grid over population sizes, parameter variants, seeds, and *both* simulation
+protocol with a timeline of events — agent churn (join/leave/replace, as
+one-shot waves or Poisson arrival processes, with optional
+detected-membership restarts), repeated fault campaigns (generalising the
+one-shot ``FailureInjectionHook``), and adversarial scheduler
+reconfiguration (partition/merge) — and the runner executes the grid over
+population sizes, parameter variants, seeds, and *both* simulation
 backends, recording per-event recovery times, post-churn output accuracy
 against the new true ``n``, and conservation-invariant series (the counting
 stack's token sum through churn).
 
-``repro-chaos`` is the console entry point; ``SCENARIO_<name>.json`` the
-artifact.
+On top of single scenarios, :mod:`repro.scenarios.search` turns the
+subsystem into a chaos *recommender*: a :class:`SearchSpec` declares which
+scenario dimension to attack (churn fraction, Poisson rate, event timing,
+partition blocks...) and what guarantee must hold, and the
+:class:`FrontierRunner` bisects — or, in multi-dimensional campaigns,
+evolves — its way to the protocol's breaking point, recording every probe's
+derived seeds for exact replay.
+
+``repro-chaos`` is the console entry point (``repro-chaos search`` for
+frontier searches); ``SCENARIO_<name>.json`` / ``FRONTIER_<name>.json`` the
+artifacts.
 """
 
-from .artifacts import build_document, load_document, scenario_json_path, write_scenario
-from .builtin import builtin_scenario_names, builtin_scenarios, resolve_builtin_scenario
+from .artifacts import (
+    build_document,
+    build_frontier_document,
+    completed_cell_ids,
+    frontier_json_path,
+    load_document,
+    load_frontier_document,
+    merge_cells,
+    scenario_json_path,
+    write_frontier,
+    write_scenario,
+)
+from .builtin import (
+    builtin_scenario_names,
+    builtin_scenarios,
+    builtin_search_names,
+    builtin_searches,
+    resolve_builtin_scenario,
+    resolve_builtin_search,
+)
 from .events import expand_events, resolve_fraction
 from .faults import FAULTS, FaultModel, fault_names, register_fault, resolve_fault
 from .metrics import (
@@ -29,16 +57,36 @@ from .metrics import (
     scenario_fits,
 )
 from .runner import InvariantTracker, ScenarioRunner, execute_scenario_cell
+from .search import (
+    DIMENSION_FIELDS,
+    GUARANTEE_KINDS,
+    SEARCH_STRATEGIES,
+    DimensionSpec,
+    FrontierRunner,
+    GuaranteeSpec,
+    SearchSpec,
+    probe_base_seed,
+    probe_scenario,
+)
 from .spec import EVENT_KINDS, EventSpec, ScenarioCell, ScenarioSpec
 
 __all__ = [
     "build_document",
+    "build_frontier_document",
+    "completed_cell_ids",
+    "frontier_json_path",
     "load_document",
+    "load_frontier_document",
+    "merge_cells",
     "scenario_json_path",
+    "write_frontier",
     "write_scenario",
     "builtin_scenario_names",
     "builtin_scenarios",
+    "builtin_search_names",
+    "builtin_searches",
     "resolve_builtin_scenario",
+    "resolve_builtin_search",
     "expand_events",
     "resolve_fraction",
     "FAULTS",
@@ -55,6 +103,15 @@ __all__ = [
     "InvariantTracker",
     "ScenarioRunner",
     "execute_scenario_cell",
+    "DIMENSION_FIELDS",
+    "GUARANTEE_KINDS",
+    "SEARCH_STRATEGIES",
+    "DimensionSpec",
+    "FrontierRunner",
+    "GuaranteeSpec",
+    "SearchSpec",
+    "probe_base_seed",
+    "probe_scenario",
     "EVENT_KINDS",
     "EventSpec",
     "ScenarioCell",

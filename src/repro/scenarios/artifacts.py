@@ -1,10 +1,19 @@
-"""Scenario artifacts: ``SCENARIO_<name>.json`` documents.
+"""Scenario and frontier artifacts.
 
-The JSON artifact is the durable record of a chaos campaign: the full spec
-(re-runnable from the artifact alone), every cell's run records — including
-the engine's per-segment recovery accounting, the event timeline with
-invariant measurements, and the post-churn accuracy — plus per-backend
-recovery-scaling fits.
+``SCENARIO_<name>.json`` is the durable record of a chaos campaign: the full
+spec (re-runnable from the artifact alone), every cell's run records —
+including the engine's per-segment recovery accounting, the event timeline
+with invariant measurements, and the post-churn accuracy — plus per-backend
+recovery-scaling fits.  ``--resume`` support reuses the sweep layer's
+grid-merge logic (:func:`completed_cell_ids` / :func:`merge_cells` are
+duck-typed over ``spec.cells()``), so interrupted chaos grids pick up where
+they stopped.
+
+``FRONTIER_<name>.json`` is the durable record of an adversarial search
+(:mod:`repro.scenarios.search`): the search spec, the strategy's result
+(critical value, bracket, orientation), and the complete probe history —
+every probe's mutated values, derived seeds, and survived/broken counts —
+so any probe replays exactly via :func:`~repro.scenarios.search.probe_scenario`.
 """
 
 from __future__ import annotations
@@ -12,24 +21,56 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..bench.runner import write_report
 from ..engine.errors import ExperimentError
 from .metrics import scenario_fits
 from .spec import ScenarioSpec
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
+    from .search import SearchSpec
+
 __all__ = [
     "scenario_json_path",
     "build_document",
     "write_scenario",
     "load_document",
+    "completed_cell_ids",
+    "merge_cells",
+    "frontier_json_path",
+    "build_frontier_document",
+    "write_frontier",
+    "load_frontier_document",
 ]
 
 
 def scenario_json_path(output_dir: str, spec: ScenarioSpec) -> str:
     """Path of the scenario's JSON artifact."""
     return os.path.join(output_dir, f"SCENARIO_{spec.name}.json")
+
+
+def completed_cell_ids(document: Optional[Dict[str, Any]], spec: ScenarioSpec):
+    """Cell ids from a previous scenario artifact that ``--resume`` may skip.
+
+    Delegates to the sweep layer's grid-merge logic, which is duck-typed
+    over ``spec.cells()`` (lazily imported: the two artifact modules sit on
+    opposite sides of the ``bench`` import cycle).
+    """
+    from ..experiments.artifacts import completed_cell_ids as impl
+
+    return impl(document, spec)
+
+
+def merge_cells(
+    document: Optional[Dict[str, Any]],
+    fresh: List[Dict[str, Any]],
+    spec: ScenarioSpec,
+) -> List[Dict[str, Any]]:
+    """Combine resumed scenario cells with freshly run ones (fresh wins)."""
+    from ..experiments.artifacts import merge_cells as impl
+
+    return impl(document, fresh, spec)
 
 
 def build_document(
@@ -76,4 +117,62 @@ def load_document(path: str) -> Optional[Dict[str, Any]]:
         ) from None
     if not isinstance(document, dict) or document.get("artifact") != "scenario":
         raise ExperimentError(f"{path} is not a scenario artifact")
+    return document
+
+
+# --------------------------------------------------------------------------
+# Frontier (adversarial search) artifacts
+# --------------------------------------------------------------------------
+
+
+def frontier_json_path(output_dir: str, spec: "SearchSpec") -> str:
+    """Path of a search's JSON artifact."""
+    return os.path.join(output_dir, f"FRONTIER_{spec.name}.json")
+
+
+def build_frontier_document(
+    spec: "SearchSpec",
+    result: Dict[str, Any],
+    history: List[Dict[str, Any]],
+    workers: int,
+) -> Dict[str, Any]:
+    """Assemble the JSON artifact document for a completed search."""
+    return {
+        "artifact": "frontier",
+        "name": spec.name,
+        "generated_unix": int(time.time()),
+        "workers": workers,
+        "strategy": spec.strategy,
+        "status": result.get("status"),
+        "spec": spec.to_dict(),
+        "result": result,
+        "history": history,
+    }
+
+
+def write_frontier(
+    document: Dict[str, Any],
+    output_dir: str,
+    spec: "SearchSpec",
+) -> Dict[str, str]:
+    """Write the frontier JSON artifact; return its path."""
+    os.makedirs(output_dir, exist_ok=True)
+    json_path = frontier_json_path(output_dir, spec)
+    write_report(document, json_path)
+    return {"json": json_path}
+
+
+def load_frontier_document(path: str) -> Optional[Dict[str, Any]]:
+    """Load a previous frontier artifact, or ``None`` when absent."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(
+            f"cannot read frontier artifact {path}: {error}"
+        ) from None
+    if not isinstance(document, dict) or document.get("artifact") != "frontier":
+        raise ExperimentError(f"{path} is not a frontier artifact")
     return document

@@ -24,6 +24,11 @@ from .spec import EventSpec
 
 __all__ = ["expand_events", "resolve_fraction"]
 
+#: Sanity bound on the expected number of arrivals a churn process may
+#: expand into: a mutated rate/window combination beyond this would swamp the
+#: timeline (and the artifact) with per-arrival events.
+MAX_PROCESS_ARRIVALS = 10_000
+
 
 def resolve_fraction(
     fraction: Optional[Union[float, str]], params: Dict[str, Any]
@@ -104,6 +109,55 @@ def _build_apply(
     return apply
 
 
+def _expand_process(
+    spec: EventSpec,
+    fraction: Optional[float],
+    base_at: int,
+    n: int,
+    seed: SeedLike,
+    index: int,
+) -> List[TimelineEvent]:
+    """Draw one realisation of a Poisson churn process as timeline events.
+
+    Arrivals follow a homogeneous Poisson process of ``spec.rate`` expected
+    events per parallel-time unit (``n`` interactions) over the ``window``:
+    inter-arrival gaps are i.i.d. exponentials drawn from a private stream
+    derived from the run seed, so the realisation is reproducible and the
+    count is ``Poisson(rate * window / n)`` by construction (no Poisson
+    sampler needed, and no underflow for large means).
+    """
+    window = spec.window.budget(n)  # type: ignore[union-attr] - validated
+    per_interaction = spec.rate / n  # type: ignore[operator]
+    expected = per_interaction * window
+    if expected > MAX_PROCESS_ARRIVALS:
+        raise ConfigurationError(
+            f"churn process expects ~{expected:.0f} arrivals "
+            f"(rate={spec.rate}, window={window} interactions); the cap is "
+            f"{MAX_PROCESS_ARRIVALS} — lower the rate or shorten the window"
+        )
+    arrival_rng = make_rng(seed, "scenario-process", index)
+    events: List[TimelineEvent] = []
+    at = arrival_rng.expovariate(per_interaction)
+    occurrence = 0
+    # 4x the cap bounds a pathological tail of the Poisson draw itself.
+    while at < window and occurrence < 4 * MAX_PROCESS_ARRIVALS:
+        events.append(
+            TimelineEvent(
+                at=base_at + int(round(at)),
+                kind=spec.kind,
+                label=f"{spec.label}#{occurrence + 1}",
+                apply=_build_apply(
+                    spec,
+                    fraction,
+                    make_rng(seed, "scenario-event", index, occurrence),
+                ),
+            )
+        )
+        occurrence += 1
+        at += arrival_rng.expovariate(per_interaction)
+    return events
+
+
 def expand_events(
     events: List[EventSpec],
     n: int,
@@ -125,6 +179,11 @@ def expand_events(
             if spec.at_interactions is not None
             else spec.at.budget(n)
         )
+        if spec.rate is not None:
+            timeline.extend(
+                _expand_process(spec, fraction, base_at, n, seed, index)
+            )
+            continue
         period = spec.every.budget(n) if spec.every is not None else 0
         for occurrence in range(spec.repeat):
             label = (

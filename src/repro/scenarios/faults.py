@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List
 
+from ..counting.keys import PHASE_RESIDUE_MODULUS, clock_from_key, clock_key
 from ..engine.backends import BatchBackend
 from ..engine.errors import ConfigurationError
 
@@ -109,6 +110,67 @@ def _clone_fault(simulator: "Simulator", victims: int, rng: random.Random) -> Di
     return {"fault": "clone", "victims": victims, "changed": changed}
 
 
+def _clock_phase_fault(
+    simulator: "Simulator", victims: int, rng: random.Random
+) -> Dict[str, Any]:
+    """Shift victims' phase-clock counters by a random non-zero offset.
+
+    The composed counting protocols gate their exactness argument on the
+    mod-40 phase residue (:mod:`repro.counting.keys`): every consumer of the
+    phase counter reads it modulo a divisor of
+    :data:`~repro.counting.keys.PHASE_RESIDUE_MODULUS`.  This fault attacks
+    exactly that quantity — each victim's phase is shifted by a uniform
+    offset in ``{1, ..., 39}``, desynchronising it from its peers (healthy
+    clocks stay within one phase of each other, Lemma 5) — which is what the
+    stable hybrids' drift detection must catch.
+
+    Under the batch backend the corruption goes through the key codecs:
+    decode the reduced clock key, perturb the phase residue, re-encode.
+    Under the agent backend the raw (unbounded) counter is shifted by the
+    same offset law, which marginalises to the identical residue shift.
+    """
+    protocol = simulator.protocol
+    probe = protocol.initial_state(0)
+    clock = getattr(probe, "clock", None)
+    if clock is None or not hasattr(clock, "phase"):
+        raise ConfigurationError(
+            f"clock-phase-corruption needs a protocol with a phase-clock "
+            f"component; {protocol.name!r} has none"
+        )
+    backend = simulator.backend
+    if isinstance(backend, BatchBackend):
+        key = protocol.state_key(probe)
+        # The composed protocols all carry the reduced clock key in slot 1
+        # of their state key; refuse layouts this fault cannot decode.
+        if (
+            not isinstance(key, tuple)
+            or len(key) < 2
+            or key[1] != clock_key(probe.clock)
+        ):
+            raise ConfigurationError(
+                f"clock-phase-corruption cannot locate the clock key in "
+                f"{protocol.name!r} state keys (expected the reduced clock "
+                f"key in slot 1)"
+            )
+
+        def rewrite(victim_key: Hashable, fault_rng: random.Random) -> Hashable:
+            victim_clock = clock_from_key(victim_key[1])  # type: ignore[index]
+            victim_clock.phase = (
+                victim_clock.phase + fault_rng.randrange(1, PHASE_RESIDUE_MODULUS)
+            ) % PHASE_RESIDUE_MODULUS
+            return (victim_key[0], clock_key(victim_clock)) + tuple(victim_key[2:])  # type: ignore[index]
+
+        changed = backend.corrupt_histogram(victims, rewrite, rng)
+    else:
+
+        def mutate(state: Any, fault_rng: random.Random) -> None:
+            state.clock.phase += fault_rng.randrange(1, PHASE_RESIDUE_MODULUS)
+            return None
+
+        changed = backend.corrupt_agents(victims, mutate, rng)
+    return {"fault": "clock-phase-corruption", "victims": victims, "changed": changed}
+
+
 FAULTS: Dict[str, FaultModel] = {
     model.name: model
     for model in (
@@ -121,6 +183,11 @@ FAULTS: Dict[str, FaultModel] = {
             "clone",
             "victims adopt a random donor's state (duplicates tokens)",
             _clone_fault,
+        ),
+        FaultModel(
+            "clock-phase-corruption",
+            "victims' phase-clock residues shift by a random offset (mod-40 gate)",
+            _clock_phase_fault,
         ),
     )
 }

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
 from ..counting.backup import ApproximateBackupProtocol, ExactBackupProtocol
+from ..counting.stable_approximate import StableApproximateProtocol
+from ..counting.stable_count_exact import StableCountExactProtocol
 from ..engine.errors import ConfigurationError
 from ..engine.protocol import Protocol
 from ..experiments.aggregate import fit_power_law, sample_stats
@@ -98,6 +100,25 @@ def _token_sum(protocol: Protocol, counts: Counter) -> int:
     )
 
 
+def _error_flags(protocol: Protocol, counts: Counter) -> int:
+    """Agents whose error-detection flag is raised (stable hybrids only).
+
+    Both stable hybrids end their state key with the boolean error flag, so
+    the count is a direct histogram reduction.  In a chaos timeline this
+    series is how a scenario *asserts the detection layer fired*: it must be
+    zero at the start and strictly positive after a disturbance that
+    invalidates the fast path (the error epidemic then carries it to ``n``).
+    """
+    if not isinstance(protocol, (StableApproximateProtocol, StableCountExactProtocol)):
+        raise ConfigurationError(
+            f"the error-flags invariant needs a stable hybrid protocol "
+            f"(approximate-stable / count-exact-stable); got {protocol.name!r}"
+        )
+    return sum(
+        multiplicity for key, multiplicity in counts.items() if key[-1]
+    )
+
+
 INVARIANTS: Dict[str, InvariantSpec] = {
     spec.name: spec
     for spec in (
@@ -115,6 +136,11 @@ INVARIANTS: Dict[str, InvariantSpec] = {
             "token-sum",
             "total tokens (backup counting / load balancing protocols)",
             _token_sum,
+        ),
+        InvariantSpec(
+            "error-flags",
+            "agents with a raised error-detection flag (stable hybrids)",
+            _error_flags,
         ),
     )
 }

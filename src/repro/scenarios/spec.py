@@ -64,6 +64,15 @@ class EventSpec:
             at fire time, or the *name* of a cell parameter holding that
             fraction (the ``param_grid`` hook).
         count: Absolute magnitude override (agents).
+        rate: Turns a churn event into a Poisson arrival *process*: expected
+            arrivals per parallel-time unit (``n`` interactions), starting at
+            ``at`` and lasting ``window``.  Each arrival applies the event
+            once with the per-arrival magnitude (``fraction`` / ``count``,
+            defaulting to a single agent), so a schedule mutates a churn
+            *rate* rather than a one-shot fraction — the continuous-churn
+            model the adversarial searches probe.
+        window: Duration of the arrival process as a time policy (required
+            with ``rate``).
         restart: For churn kinds — also restart the whole population right
             after the churn, modelling detected membership change: the
             protocols re-run at the new true ``n``, which is what makes the
@@ -83,6 +92,8 @@ class EventSpec:
     at_interactions: Optional[int] = None
     fraction: Optional[Union[float, str]] = None
     count: Optional[int] = None
+    rate: Optional[float] = None
+    window: Optional[BudgetPolicy] = None
     restart: bool = False
     fault: str = "reset"
     repeat: int = 1
@@ -107,6 +118,24 @@ class EventSpec:
             )
         if self.at_interactions is not None and self.at_interactions < 0:
             raise ConfigurationError("at_interactions must be non-negative")
+        if self.rate is not None:
+            if self.kind not in ("join", "leave", "replace"):
+                raise ConfigurationError(
+                    "a churn process (rate=) only applies to join/leave/replace"
+                )
+            if self.rate <= 0:
+                raise ConfigurationError("churn-process rate must be positive")
+            if self.window is None:
+                raise ConfigurationError("a churn process (rate=) needs window=")
+            self.window = policy_from(self.window, "event window policy")
+            if self.repeat > 1:
+                raise ConfigurationError(
+                    "a churn process draws its own arrivals; repeat does not apply"
+                )
+            if self.fraction is None and self.count is None:
+                self.count = 1  # default per-arrival magnitude: one agent
+        elif self.window is not None:
+            raise ConfigurationError("window= only applies to churn processes (rate=)")
         if self.kind in _SIZED_KINDS:
             if (self.fraction is None) == (self.count is None):
                 raise ConfigurationError(

@@ -8,6 +8,8 @@ identical churn (KS-style, mirroring the static-population equivalence
 tests).
 """
 
+import json
+import os
 import random
 from collections import Counter
 
@@ -29,12 +31,15 @@ from repro.engine import (
 from repro.engine.metrics import InteractionCounter
 from repro.experiments.builtin import resolve_builtin
 from repro.experiments.plot import ascii_loglog, render_sweep_plot, sweep_plot_points
+from repro.experiments.registry import resolve_protocol
 from repro.experiments.runner import SweepRunner, execute_cell
 from repro.experiments.spec import BudgetPolicy, SweepSpec
 from repro.primitives.epidemic import OneWayEpidemic
 from repro.primitives.load_balancing import ClassicalLoadBalancing
 from repro.scenarios import (
     EventSpec,
+    completed_cell_ids,
+    merge_cells,
     ScenarioRunner,
     ScenarioSpec,
     build_document,
@@ -642,3 +647,249 @@ def test_outputs_within_spread_predicate():
     assert not predicate([])
     with pytest.raises(ValueError):
         outputs_within_spread(-1)
+
+
+# --------------------------------------------------------------------------
+# Poisson arrival-process churn
+# --------------------------------------------------------------------------
+
+
+def _process_event(**overrides):
+    fields = dict(
+        kind="replace",
+        rate=2.0,
+        fraction=0.1,
+        at=BudgetPolicy(factor=1.0, n_exponent=1.0, log_exponent=1.0),
+        window=BudgetPolicy(factor=8.0, n_exponent=1.0, log_exponent=1.0),
+        label="churn-process",
+    )
+    fields.update(overrides)
+    return EventSpec(**fields)
+
+
+def test_poisson_process_expands_deterministically():
+    events = [_process_event()]
+    first = expand_events(events, 100, {}, seed=7)
+    second = expand_events(events, 100, {}, seed=7)
+    assert [event.at for event in first] == [event.at for event in second]
+    assert len(first) > 1  # rate 2/n over an 8 n log n window: many arrivals
+    # occurrences are ordered, inside the window, and labelled #k
+    window_start = events[0].at.budget(100)
+    window_end = window_start + events[0].window.budget(100)
+    ats = [event.at for event in first]
+    assert ats == sorted(ats)
+    assert all(window_start <= at < window_end for at in ats)
+    assert first[0].label == "churn-process#1"
+    assert first[-1].label == f"churn-process#{len(first)}"
+    # a different seed draws different arrival times
+    other = expand_events(events, 100, {}, seed=8)
+    assert [event.at for event in other] != ats
+
+
+def test_poisson_process_expected_arrivals():
+    # E[arrivals] = rate * window / n; rate 2 over 16 n log2 n at n=100
+    events = [
+        _process_event(
+            rate=2.0,
+            window=BudgetPolicy(factor=16.0, n_exponent=1.0, log_exponent=1.0),
+        )
+    ]
+    n = 100
+    expected = 2.0 * events[0].window.budget(n) / n
+    draws = [len(expand_events(events, n, {}, seed=seed)) for seed in range(10)]
+    mean = sum(draws) / len(draws)
+    assert 0.7 * expected <= mean <= 1.3 * expected
+
+
+def test_poisson_process_validation():
+    with pytest.raises(ConfigurationError):  # rate only on churn kinds
+        _process_event(kind="corrupt", fault="reset")
+    with pytest.raises(ConfigurationError):  # rate must be positive
+        _process_event(rate=0.0)
+    with pytest.raises(ConfigurationError):  # a process needs its window
+        _process_event(window=None)
+    with pytest.raises(ConfigurationError):  # window without rate is inert
+        EventSpec(
+            kind="leave",
+            fraction=0.1,
+            at=BudgetPolicy(factor=1.0, n_exponent=1.0, log_exponent=1.0),
+            window=BudgetPolicy(factor=8.0, n_exponent=1.0, log_exponent=1.0),
+        )
+    with pytest.raises(ConfigurationError):  # repeat belongs to periodic events
+        _process_event(repeat=3, every=BudgetPolicy(factor=1.0))
+
+
+def test_poisson_process_caps_expected_arrivals():
+    runaway = [
+        _process_event(
+            rate=1e9,
+            window=BudgetPolicy(factor=64.0, n_exponent=2.0, log_exponent=0.0),
+        )
+    ]
+    with pytest.raises(ConfigurationError, match="arrival"):
+        expand_events(runaway, 1000, {}, seed=0)
+
+
+def test_poisson_process_runs_through_a_scenario_cell():
+    spec = _tiny_spec(
+        protocol="one-way-epidemic",
+        ns=[32],
+        backends=["batch"],
+        budget=BudgetPolicy(factor=64.0, n_exponent=1.0, log_exponent=1.0),
+        events=[
+            _process_event(
+                rate=1.0,
+                at=BudgetPolicy(factor=4.0, n_exponent=1.0, log_exponent=1.0),
+                window=BudgetPolicy(factor=8.0, n_exponent=1.0, log_exponent=1.0),
+            )
+        ],
+        invariants=["population"],
+    )
+    cell = spec.cells()[0]
+    record = execute_scenario_cell(
+        {
+            "cell_id": cell.cell_id,
+            "n": cell.n,
+            "backend": cell.backend,
+            "params": cell.params,
+            "seeds": cell.seeds,
+            "spec": spec.to_dict(),
+        }
+    )
+    assert not record.get("error")
+    run = record["runs"][0]
+    fired = [event for event in run["extra"]["timeline"] if event["fired"]]
+    assert fired  # the process produced at least one occurrence
+    assert all(event["invariants"]["population"] == 32 for event in fired)
+
+
+# --------------------------------------------------------------------------
+# Clock-phase corruption fault (mod-40 residue gate)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["agent", "batch"])
+def test_clock_phase_fault_desynchronises_clocks(backend):
+    from repro.counting.keys import PHASE_RESIDUE_MODULUS
+
+    simulator = Simulator(
+        resolve_protocol("approximate-stable").build(24, {}), 24, seed=3, backend=backend
+    )
+    simulator.run(max_interactions=2_000)
+
+    def phase_histogram():
+        counts = Counter()
+        for key, multiplicity in simulator.state_key_counts().items():
+            counts[key[1][1]] += multiplicity
+        return counts
+
+    before = phase_histogram()
+    details = resolve_fault("clock-phase-corruption").apply(
+        simulator, 8, random.Random(5)
+    )
+    assert details["victims"] == 8
+    assert details["changed"] == 8  # a non-zero shift always changes the key
+    after = phase_histogram()
+    assert sum(after.values()) == 24
+    assert after != before  # residues actually moved
+    # healthy clocks stay within one phase of each other (Lemma 5); the
+    # corrupted population spans a wider residue range.
+    assert len(after) > len(before)
+
+
+def test_clock_phase_fault_requires_a_phase_clock():
+    simulator = Simulator(OneWayEpidemic(), 16, seed=0, backend="batch")
+    with pytest.raises(ConfigurationError, match="phase-clock"):
+        resolve_fault("clock-phase-corruption").apply(simulator, 4, random.Random(0))
+
+
+# --------------------------------------------------------------------------
+# Error-flags invariant and the stable-detect builtin
+# --------------------------------------------------------------------------
+
+
+def test_error_flags_invariant_counts_raised_flags():
+    protocol = resolve_protocol("approximate-stable").build(16, {})
+    invariant = resolve_invariant("error-flags")
+    healthy = protocol.initial_state(0)
+    flagged = protocol.initial_state(1)
+    flagged.error = True
+    counts = Counter(
+        {protocol.state_key(healthy): 5, protocol.state_key(flagged): 3}
+    )
+    assert invariant.compute(protocol, counts) == 3
+    with pytest.raises(ConfigurationError, match="stable hybrid"):
+        invariant.compute(OneWayEpidemic(), Counter())
+
+
+def test_stable_detect_builtin_is_well_formed():
+    spec = builtin_scenarios()["stable-detect"]
+    assert spec.protocol == "approximate-stable"
+    assert "error-flags" in spec.invariants
+    kinds = [event.kind for event in spec.events]
+    assert "join" in kinds and "corrupt" in kinds
+    assert any(event.restart for event in spec.events)  # churn + restart
+    faults = {event.fault for event in spec.events if event.kind == "corrupt"}
+    assert faults == {"clock-phase-corruption"}
+    # the keep-alive event holds the run open past backup-path convergence
+    assert spec.events[-1].at.budget(96) > spec.events[-2].at.budget(96)
+    ScenarioSpec.from_json(spec.to_json())
+
+
+def test_committed_stable_detect_artifact_shows_detection_firing():
+    path = os.path.join(os.path.dirname(__file__), "..", "SCENARIO_stable-detect.json")
+    if not os.path.exists(path):
+        pytest.skip("SCENARIO_stable-detect.json not generated")
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["spec"]["protocol"] == "approximate-stable"
+    for cell in document["cells"]:
+        assert not cell.get("error")
+        finals = [
+            run["extra"]["timeline"][-1]["invariants"]["error-flags"]
+            for run in cell["runs"]
+        ]
+        # the detection layer fired in at least half of every cell's runs,
+        # and every run still converged (via the always-correct backup)
+        assert sum(1 for value in finals if value > 0) * 2 >= len(finals)
+        assert all(run["converged"] for run in cell["runs"])
+
+
+# --------------------------------------------------------------------------
+# Scenario --resume
+# --------------------------------------------------------------------------
+
+
+def test_scenario_resume_merges_completed_cells(tmp_path):
+    spec = _tiny_spec(ns=[16, 24], backends=["batch"])
+    runner = ScenarioRunner(spec, workers=1)
+    fresh = runner.run()
+    document = build_document(spec, fresh, workers=1)
+    done = completed_cell_ids(document, spec)
+    assert done == {cell.cell_id for cell in spec.cells()}
+    # resuming skips everything; the merge keeps the old records in grid order
+    resumed = ScenarioRunner(spec, workers=1).run(skip_cell_ids=done)
+    assert resumed == []
+    merged = merge_cells(document, resumed, spec)
+    assert [cell["cell_id"] for cell in merged] == [
+        cell.cell_id for cell in spec.cells()
+    ]
+    # a failed cell is not treated as completed and gets re-run
+    document["cells"][0]["error"] = "boom"
+    partial = completed_cell_ids(document, spec)
+    assert len(partial) == len(done) - 1
+
+
+def test_cli_scenario_resume_round_trip(tmp_path, capsys):
+    from repro.scenarios.cli import main as chaos_main
+
+    spec = _tiny_spec(ns=[16], backends=["batch"])
+    spec_path = tmp_path / "tiny.json"
+    spec_path.write_text(spec.to_json())
+    args = ["--spec", str(spec_path), "--output-dir", str(tmp_path), "--workers", "1"]
+    assert chaos_main(args) == 0
+    first = capsys.readouterr().out
+    assert "0 resumed" in first
+    assert chaos_main(args + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "0 run now, 1 resumed" in second

@@ -5,18 +5,39 @@ editable installs (``pip install -e .``) work on machines without the
 ``wheel`` package, e.g. offline environments.
 """
 
+import os
+import re
+
 from setuptools import find_namespace_packages, setup
+
+
+def _version() -> str:
+    """Single-source the version from ``repro.fingerprint``.
+
+    Read textually (not imported): at build time the package may not be
+    importable yet, and importing it would hash the source tree.
+    """
+    path = os.path.join(
+        os.path.dirname(__file__), "src", "repro", "fingerprint.py"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        match = re.search(r'^PACKAGE_VERSION = "([^"]+)"', handle.read(), re.M)
+    if not match:
+        raise RuntimeError("PACKAGE_VERSION not found in repro/fingerprint.py")
+    return match.group(1)
+
 
 setup(
     name="repro-berenbrink-kr19",
-    version="0.7.0",
+    version=_version(),
     description=(
         "Reproduction of Berenbrink, Kaaser, Radzik (PODC 2019) population "
         "protocols with a batched configuration-vector simulation backend "
         "(pluggable scan/alias/Fenwick/vector weighted samplers, optional "
         "NumPy-vectorised batch kernels with a pure-Python fallback), a "
-        "parallel experiment-sweep subsystem, and a dynamic-population "
-        "chaos-scenario subsystem with adversarial frontier search"
+        "parallel experiment-sweep subsystem, a dynamic-population "
+        "chaos-scenario subsystem with adversarial frontier search, and an "
+        "HTTP job server with a content-addressed result cache"
     ),
     package_dir={"": "src"},
     packages=find_namespace_packages(where="src"),
@@ -33,6 +54,7 @@ setup(
             "repro-bench=repro.bench.cli:main",
             "repro-sweep=repro.experiments.cli:main",
             "repro-chaos=repro.scenarios.cli:main",
+            "repro-serve=repro.server.cli:main",
         ]
     },
 )

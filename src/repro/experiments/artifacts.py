@@ -19,6 +19,9 @@ from typing import Any, Dict, List, Optional, Set
 
 from ..bench.runner import write_report
 from ..engine.errors import ExperimentError
+from ..fingerprint import code_fingerprint, spec_sha256
+from ..resume import completed_cell_ids as _completed_cell_ids
+from ..resume import merge_cells as _merge_cells
 from .aggregate import sweep_fits
 from .spec import SweepSpec
 
@@ -50,12 +53,15 @@ def build_document(
 ) -> Dict[str, Any]:
     """Assemble the JSON artifact document for a completed sweep."""
     failed = [cell["cell_id"] for cell in cells if cell.get("error")]
+    spec_dict = spec.to_dict()
     return {
         "artifact": "sweep",
         "name": spec.name,
         "generated_unix": int(time.time()),
         "workers": workers,
-        "spec": spec.to_dict(),
+        "code_fingerprint": code_fingerprint(),
+        "spec_sha256": spec_sha256(spec_dict),
+        "spec": spec_dict,
         "fits": sweep_fits([cell for cell in cells if not cell.get("error")]),
         "failed_cells": failed,
         "cells": cells,
@@ -84,23 +90,12 @@ def load_document(path: str) -> Optional[Dict[str, Any]]:
 def completed_cell_ids(document: Optional[Dict[str, Any]], spec: SweepSpec) -> Set[str]:
     """Cell ids from a previous artifact that ``--resume`` may skip.
 
-    A cell counts as complete when it belongs to the same spec grid, carries
-    no error, and ran every one of its currently-specified seeds (so raising
-    ``seeds_per_cell`` invalidates the shortcut for every cell, as it must).
+    Delegates to the shared grid-resume helper of :mod:`repro.resume`: a
+    cell counts as complete when it belongs to the same spec grid, carries
+    no error, and ran every one of its currently-specified seeds — and a
+    document stamped by a different code version resumes nothing.
     """
-    if not document:
-        return set()
-    by_id = {cell.cell_id: cell for cell in spec.cells()}
-    done: Set[str] = set()
-    for cell in document.get("cells", ()):
-        expected = by_id.get(cell.get("cell_id"))
-        if expected is None or cell.get("error"):
-            continue
-        if list(cell.get("seeds", ())) != list(expected.seeds):
-            continue
-        if len(cell.get("runs", ())) == len(expected.seeds):
-            done.add(cell["cell_id"])
-    return done
+    return _completed_cell_ids(document, spec)
 
 
 def merge_cells(
@@ -110,19 +105,11 @@ def merge_cells(
 ) -> List[Dict[str, Any]]:
     """Combine resumed cells from ``document`` with freshly run ones.
 
-    Fresh results win on conflicts; the merged list follows the spec's grid
-    order and drops stale cells that are no longer part of the grid.
+    Shared-helper semantics (:func:`repro.resume.merge_cells`): fresh wins,
+    except a fresh *failed* record never replaces a previous successful and
+    complete one; the merged list follows the spec's grid order.
     """
-    fresh_by_id = {cell["cell_id"]: cell for cell in fresh}
-    previous_by_id = {
-        cell["cell_id"]: cell for cell in (document or {}).get("cells", ())
-    }
-    merged: List[Dict[str, Any]] = []
-    for cell in spec.cells():
-        record = fresh_by_id.get(cell.cell_id) or previous_by_id.get(cell.cell_id)
-        if record is not None:
-            merged.append(record)
-    return merged
+    return _merge_cells(document, fresh, spec)
 
 
 _CSV_COLUMNS = [

@@ -26,7 +26,13 @@ from .aggregate import cell_stats
 from .registry import resolve_protocol
 from .spec import SweepCell, SweepSpec
 
-__all__ = ["PoolExecutor", "SweepRunner", "execute_cell", "run_cell_seeds"]
+__all__ = [
+    "PoolExecutor",
+    "SweepRunner",
+    "cell_payload",
+    "execute_cell",
+    "run_cell_seeds",
+]
 
 Progress = Optional[Callable[[str], None]]
 
@@ -118,6 +124,7 @@ class PoolExecutor:
         payloads: List[Dict[str, Any]],
         timeout_s: Optional[float] = None,
         on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
+        executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
     ) -> List[Dict[str, Any]]:
         """Run every payload; return records in payload order.
 
@@ -127,7 +134,14 @@ class PoolExecutor:
         so pass one whenever crash recovery matters.  A task still missing
         after :attr:`retries` re-submissions yields a synthetic record with
         the failure in its ``error`` field instead of raising.
+
+        ``executor`` overrides the pool's default executor for this batch
+        only (it must still be a picklable module-level callable) — this is
+        what lets one long-lived pool serve several cell kinds, e.g. the
+        job server scheduling sweep, scenario, and search-probe cells on
+        the same worker processes.
         """
+        run_task = executor if executor is not None else self.executor
         results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
         pending = list(enumerate(payloads))
         attempt = 0
@@ -135,12 +149,12 @@ class PoolExecutor:
             pool = self._ensure_pool()
             if pool is None:
                 for index, payload in pending:
-                    results[index] = self.executor(payload)
+                    results[index] = run_task(payload)
                     if on_result:
                         on_result(results[index])
                 break
             tasks = [
-                (index, payload, pool.apply_async(self.executor, (payload,)))
+                (index, payload, pool.apply_async(run_task, (payload,)))
                 for index, payload in pending
             ]
             lost = []
@@ -221,8 +235,14 @@ def run_cell_seeds(
     return runs, None
 
 
-def _cell_payload(spec: SweepSpec, cell: SweepCell) -> Dict[str, Any]:
-    """Everything a worker needs to run one cell, as picklable primitives."""
+def cell_payload(spec: SweepSpec, cell: SweepCell) -> Dict[str, Any]:
+    """Everything a worker needs to run one sweep cell, as picklable primitives.
+
+    This is the sweep half of the per-cell execute seam: a payload built
+    here feeds :func:`execute_cell` in any process — the sweep runner's
+    pool, the job server, or inline — and, being plain JSON-able data, it
+    doubles as the content the server's result cache is addressed by.
+    """
     return {
         "cell_id": cell.cell_id,
         "protocol": spec.protocol,
@@ -331,7 +351,7 @@ class SweepRunner:
 
     def payloads(self, cells: List[Any]) -> List[Dict[str, Any]]:
         """Build the picklable worker payload for each pending cell."""
-        return [_cell_payload(self.spec, cell) for cell in cells]
+        return [cell_payload(self.spec, cell) for cell in cells]
 
     def _report(self, line: str) -> None:
         if self.progress:

@@ -1,0 +1,92 @@
+"""Code fingerprinting and canonical JSON for content-addressed results.
+
+A simulation result is only reusable — by ``--resume`` or by the server's
+:class:`~repro.server.cache.ResultCache` — when the code that produced it
+still has the same semantics.  The :func:`code_fingerprint` combines the
+package version with a hash over the package's Python source, so any source
+change (a protocol tweak, a backend fix, a new sampler) invalidates cached
+and resumable results instead of silently mixing outputs of two code
+versions.
+
+:func:`canonical_json` is the byte-stable serialisation both layers key on:
+sorted keys, minimal separators, no trailing whitespace — the same dict
+always maps to the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from typing import Any, Dict
+
+__all__ = [
+    "PACKAGE_VERSION",
+    "canonical_json",
+    "sha256_hex",
+    "source_digest",
+    "code_fingerprint",
+    "spec_sha256",
+]
+
+#: Single source of truth for the package version (setup.py reads it here).
+PACKAGE_VERSION = "0.8.0"
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise ``value`` to byte-stable canonical JSON.
+
+    Keys are sorted and separators minimal, so structurally equal values
+    always produce identical bytes — the property cache keys and artifact
+    stamps rely on.  Non-JSON values raise ``TypeError`` (callers pass
+    JSON-ready dicts such as ``spec.to_dict()`` or worker payloads).
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of a text string (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def source_digest() -> str:
+    """Hex SHA-256 over every ``*.py`` source file of the ``repro`` package.
+
+    Files are hashed in sorted relative-path order together with their
+    paths, so renames and content changes both change the digest.  The
+    whole package is "spec-relevant": protocols, backends, samplers, the
+    engine, and the experiment runners all shape what a cell produces.
+    """
+    package_root = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha256()
+    sources = []
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = [name for name in dirnames if name != "__pycache__"]
+        for filename in filenames:
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                sources.append((os.path.relpath(path, package_root), path))
+    for relpath, path in sorted(sources):
+        digest.update(relpath.encode("utf-8"))
+        digest.update(b"\0")
+        with open(path, "rb") as handle:
+            digest.update(handle.read())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """The code-version stamp embedded in artifacts and cache keys.
+
+    ``<version>+<12-hex source digest>`` — human-readable enough to eyeball
+    in an artifact, precise enough that any source change invalidates it.
+    """
+    return f"{PACKAGE_VERSION}+{source_digest()[:12]}"
+
+
+def spec_sha256(spec_dict: Dict[str, Any]) -> str:
+    """Content address of a spec: SHA-256 of its canonical JSON."""
+    return sha256_hex(canonical_json(spec_dict))

@@ -25,6 +25,9 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..bench.runner import write_report
 from ..engine.errors import ExperimentError
+from ..fingerprint import code_fingerprint, spec_sha256
+from ..resume import completed_cell_ids as _completed_cell_ids
+from ..resume import merge_cells as _merge_cells
 from .metrics import scenario_fits
 from .spec import ScenarioSpec
 
@@ -53,13 +56,11 @@ def scenario_json_path(output_dir: str, spec: ScenarioSpec) -> str:
 def completed_cell_ids(document: Optional[Dict[str, Any]], spec: ScenarioSpec):
     """Cell ids from a previous scenario artifact that ``--resume`` may skip.
 
-    Delegates to the sweep layer's grid-merge logic, which is duck-typed
-    over ``spec.cells()`` (lazily imported: the two artifact modules sit on
-    opposite sides of the ``bench`` import cycle).
+    Delegates to the shared grid-resume helper of :mod:`repro.resume`,
+    which is duck-typed over ``spec.cells()`` (one implementation for
+    sweeps, scenarios, and the server's result cache).
     """
-    from ..experiments.artifacts import completed_cell_ids as impl
-
-    return impl(document, spec)
+    return _completed_cell_ids(document, spec)
 
 
 def merge_cells(
@@ -67,10 +68,12 @@ def merge_cells(
     fresh: List[Dict[str, Any]],
     spec: ScenarioSpec,
 ) -> List[Dict[str, Any]]:
-    """Combine resumed scenario cells with freshly run ones (fresh wins)."""
-    from ..experiments.artifacts import merge_cells as impl
+    """Combine resumed scenario cells with freshly run ones.
 
-    return impl(document, fresh, spec)
+    Shared-helper semantics (:func:`repro.resume.merge_cells`): fresh wins,
+    except a fresh failed record never replaces a previous successful one.
+    """
+    return _merge_cells(document, fresh, spec)
 
 
 def build_document(
@@ -80,12 +83,15 @@ def build_document(
 ) -> Dict[str, Any]:
     """Assemble the JSON artifact document for a completed scenario."""
     failed = [cell["cell_id"] for cell in cells if cell.get("error")]
+    spec_dict = spec.to_dict()
     return {
         "artifact": "scenario",
         "name": spec.name,
         "generated_unix": int(time.time()),
         "workers": workers,
-        "spec": spec.to_dict(),
+        "code_fingerprint": code_fingerprint(),
+        "spec_sha256": spec_sha256(spec_dict),
+        "spec": spec_dict,
         "fits": scenario_fits([cell for cell in cells if not cell.get("error")]),
         "failed_cells": failed,
         "cells": cells,
@@ -137,6 +143,7 @@ def build_frontier_document(
     workers: int,
 ) -> Dict[str, Any]:
     """Assemble the JSON artifact document for a completed search."""
+    spec_dict = spec.to_dict()
     return {
         "artifact": "frontier",
         "name": spec.name,
@@ -144,7 +151,9 @@ def build_frontier_document(
         "workers": workers,
         "strategy": spec.strategy,
         "status": result.get("status"),
-        "spec": spec.to_dict(),
+        "code_fingerprint": code_fingerprint(),
+        "spec_sha256": spec_sha256(spec_dict),
+        "spec": spec_dict,
         "result": result,
         "history": history,
     }

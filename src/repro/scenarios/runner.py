@@ -29,7 +29,12 @@ from .events import expand_events
 from .metrics import resolve_invariant, scenario_cell_stats
 from .spec import ScenarioCell, ScenarioSpec
 
-__all__ = ["ScenarioRunner", "execute_scenario_cell", "InvariantTracker"]
+__all__ = [
+    "ScenarioRunner",
+    "execute_scenario_cell",
+    "scenario_cell_payload",
+    "InvariantTracker",
+]
 
 
 class InvariantTracker(CallbackHook):
@@ -176,6 +181,27 @@ def execute_scenario_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def scenario_cell_payload(
+    spec_dict: Dict[str, Any], cell: ScenarioCell
+) -> Dict[str, Any]:
+    """Everything a worker needs to run one scenario cell (plain primitives).
+
+    The scenario half of the per-cell execute seam: payloads built here feed
+    :func:`execute_scenario_cell` from the scenario runner, the frontier
+    search's probe scheduling, and the job server alike.  ``spec_dict`` is
+    ``spec.to_dict()`` — passed in pre-serialised so batch builders pay the
+    conversion once.
+    """
+    return {
+        "cell_id": cell.cell_id,
+        "n": cell.n,
+        "backend": cell.backend,
+        "params": dict(cell.params),
+        "seeds": list(cell.seeds),
+        "spec": spec_dict,
+    }
+
+
 class ScenarioRunner(SweepRunner):
     """Fan scenario cells out over the shared multiprocessing pool.
 
@@ -189,14 +215,4 @@ class ScenarioRunner(SweepRunner):
 
     def payloads(self, cells: List[ScenarioCell]) -> List[Dict[str, Any]]:
         spec_dict = self.spec.to_dict()
-        return [
-            {
-                "cell_id": cell.cell_id,
-                "n": cell.n,
-                "backend": cell.backend,
-                "params": dict(cell.params),
-                "seeds": list(cell.seeds),
-                "spec": spec_dict,
-            }
-            for cell in cells
-        ]
+        return [scenario_cell_payload(spec_dict, cell) for cell in cells]

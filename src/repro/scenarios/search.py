@@ -44,7 +44,7 @@ from ..engine.errors import ConfigurationError, ExperimentError
 from ..engine.rng import SeedLike, derive_seed, make_rng
 from ..experiments.runner import PoolExecutor, Progress
 from .metrics import resolve_invariant
-from .runner import execute_scenario_cell
+from .runner import execute_scenario_cell, scenario_cell_payload
 from .spec import ScenarioSpec
 
 __all__ = [
@@ -487,6 +487,14 @@ class FrontierRunner:
             :func:`~repro.scenarios.runner.execute_scenario_cell`.
         pool_factory: Test seam forwarded to :class:`PoolExecutor`.
         retries: Re-submissions per lost worker task.
+        pool: An existing :class:`PoolExecutor` to schedule probes on
+            instead of creating one — how the job server runs searches on
+            its shared pool.  A borrowed pool is *not* closed by
+            :meth:`run`; its owner keeps that responsibility.
+        should_abort: Optional zero-argument callable polled before every
+            probe; returning ``True`` aborts the search with
+            :class:`~repro.engine.errors.ExperimentError` (the server's
+            job-cancellation hook).
     """
 
     def __init__(
@@ -497,18 +505,26 @@ class FrontierRunner:
         executor: Callable[[Dict[str, Any]], Dict[str, Any]] = execute_scenario_cell,
         pool_factory: Optional[Callable[[int], Any]] = None,
         retries: int = 1,
+        pool: Optional[PoolExecutor] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.spec = spec
         self.progress = progress
         self.history: List[Dict[str, Any]] = []
         self._cache: Dict[str, Dict[str, Any]] = {}
-        self._pool = PoolExecutor(
-            executor,
-            workers=workers,
-            retries=retries,
-            progress=progress,
-            pool_factory=pool_factory,
-        )
+        self._executor = executor
+        self._should_abort = should_abort
+        self._owns_pool = pool is None
+        if pool is not None:
+            self._pool = pool
+        else:
+            self._pool = PoolExecutor(
+                executor,
+                workers=workers,
+                retries=retries,
+                progress=progress,
+                pool_factory=pool_factory,
+            )
         self.workers = self._pool.workers
 
     def _report(self, line: str) -> None:
@@ -522,6 +538,8 @@ class FrontierRunner:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        if self._should_abort is not None and self._should_abort():
+            raise ExperimentError(f"search {self.spec.name!r} aborted")
         if len(self._cache) >= self.spec.max_probes:
             raise ExperimentError(
                 f"search {self.spec.name!r} exceeded max_probes="
@@ -529,21 +547,16 @@ class FrontierRunner:
             )
         scenario = probe_scenario(self.spec, values)
         cell = scenario.cells()[0]
-        payload = {
-            "cell_id": cell.cell_id,
-            "n": cell.n,
-            "backend": cell.backend,
-            "params": dict(cell.params),
-            "seeds": list(cell.seeds),
-            "spec": scenario.to_dict(),
-        }
+        payload = scenario_cell_payload(scenario.to_dict(), cell)
         timeout = None
         if self.spec.probe_timeout_s is not None:
             # Grace over the in-worker budget so the worker's own timeout
             # record (which preserves completed runs) wins when possible.
             timeout = self.spec.probe_timeout_s + 30.0
         started = time.perf_counter()
-        record = self._pool.map([payload], timeout_s=timeout)[0]
+        record = self._pool.map(
+            [payload], timeout_s=timeout, executor=self._executor
+        )[0]
         if record.get("error"):
             raise ExperimentError(
                 f"probe {key} of search {self.spec.name!r} failed: "
@@ -583,7 +596,8 @@ class FrontierRunner:
                 return self._bisect()
             return self._evolve()
         finally:
-            self._pool.close()
+            if self._owns_pool:
+                self._pool.close()
 
     def _bisect(self) -> Dict[str, Any]:
         """Deterministic interval halving over the single dimension.

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: an async job server over the experiment engine.
+
+The batch CLIs (``repro-sweep``, ``repro-chaos``, ``repro-chaos search``)
+run one spec per process.  This package turns the same machinery into a
+long-lived HTTP service: ``repro-serve`` accepts any of the three spec
+kinds as JSON jobs, schedules their cells on one shared spawn-safe worker
+pool, deduplicates identical cells across jobs through a content-addressed
+result cache, and serves the finished ``SWEEP_``/``SCENARIO_``/``FRONTIER_``
+documents back over HTTP.
+
+Layers (stdlib only — no new required dependencies):
+
+* :mod:`repro.server.cache` — :class:`ResultCache`, keyed on the canonical
+  cell payload JSON (which embeds the derived seeds) plus the code
+  fingerprint, and :func:`stable_document` for artifact comparison.
+* :mod:`repro.server.jobs` — :class:`JobManager`: FIFO queue, bounded
+  in-flight cell scheduling, cancellation, per-cell progress.
+* :mod:`repro.server.app` — the ``http.server`` JSON API.
+* :mod:`repro.server.client` — :class:`ReproClient`, a thin stdlib HTTP
+  client for tests, scripts, and the CI smoke.
+* :mod:`repro.server.cli` — the ``repro-serve`` console entry point.
+"""
+
+from .cache import ResultCache, cache_key, stable_document
+from .client import ReproClient, ServerError
+from .jobs import JOB_KINDS, JobManager, JobNotReady, UnknownJob
+
+__all__ = [
+    "JOB_KINDS",
+    "JobManager",
+    "JobNotReady",
+    "ReproClient",
+    "ResultCache",
+    "ServerError",
+    "UnknownJob",
+    "cache_key",
+    "stable_document",
+]

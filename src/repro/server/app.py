@@ -1,0 +1,182 @@
+"""The HTTP JSON API over :class:`~repro.server.jobs.JobManager`.
+
+Stdlib only: a :class:`~http.server.ThreadingHTTPServer` whose handler
+threads merely translate requests into (thread-safe) manager calls — every
+simulation runs on the manager's worker pool, never on a request thread,
+so the API stays responsive while jobs grind.
+
+Routes:
+
+============================  =============================================
+``GET /healthz``              liveness, version, fingerprint, job counts
+``GET /cache/stats``          result-cache hit/miss accounting
+``POST /jobs``                submit ``{"kind": ..., "spec": {...}}`` → 201
+``GET /jobs``                 every job's status, submission order
+``GET /jobs/<id>``            one job's status + per-cell progress
+``GET /jobs/<id>/artifact``   the finished document (409 until done)
+``DELETE /jobs/<id>``         cancel (immediate if queued)
+============================  =============================================
+
+Errors are JSON too: 400 carries the spec-validation message, 404 an
+unknown job id or route, 409 an artifact requested before the job is done.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+from ..engine.errors import ConfigurationError
+from ..fingerprint import PACKAGE_VERSION, code_fingerprint
+from .jobs import JobManager, JobNotReady, UnknownJob
+
+__all__ = ["ReproServer", "ReproRequestHandler", "make_server"]
+
+#: Upper bound on request bodies; a spec is a few KB, so anything near this
+#: is garbage (and an unbounded read would let one request exhaust memory).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        manager: JobManager,
+        quiet: bool = True,
+    ) -> None:
+        self.manager = manager
+        self.quiet = quiet
+        super().__init__(address, ReproRequestHandler)
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Translate HTTP requests into :class:`JobManager` calls."""
+
+    server_version = f"repro-serve/{PACKAGE_VERSION}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json_body(self) -> Optional[Dict[str, Any]]:
+        """The request body as JSON, or ``None`` after a 400 was sent."""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, "a JSON body with a valid Content-Length is required")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._error(400, f"request body is not valid JSON: {error}")
+            return None
+        if not isinstance(body, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return body
+
+    @property
+    def _manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def _route(self) -> Tuple[str, ...]:
+        path = urlparse(self.path).path
+        return tuple(part for part in path.split("/") if part)
+
+    # --------------------------------------------------------------- verbs
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        route = self._route()
+        manager = self._manager
+        try:
+            if route == ("healthz",):
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "version": PACKAGE_VERSION,
+                        "code_fingerprint": code_fingerprint(),
+                        "workers": manager.workers,
+                        "max_inflight": manager.max_inflight,
+                        "jobs": manager.counts(),
+                    },
+                )
+            elif route == ("cache", "stats"):
+                self._send_json(200, manager.cache.stats())
+            elif route == ("jobs",):
+                self._send_json(200, {"jobs": manager.jobs()})
+            elif len(route) == 2 and route[0] == "jobs":
+                self._send_json(200, manager.status(route[1]))
+            elif len(route) == 3 and route[:1] == ("jobs",) and route[2] == "artifact":
+                self._send_json(200, manager.artifact(route[1]))
+            else:
+                self._error(404, f"no such route: GET {self.path}")
+        except UnknownJob as error:
+            self._error(404, f"no such job: {error.args[0]}")
+        except JobNotReady as error:
+            self._error(409, str(error))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        route = self._route()
+        if route != ("jobs",):
+            self._error(404, f"no such route: POST {self.path}")
+            return
+        body = self._read_json_body()
+        if body is None:
+            return
+        kind = body.get("kind")
+        spec = body.get("spec")
+        if not isinstance(kind, str) or spec is None:
+            self._error(400, 'a job is {"kind": "sweep|scenario|search", "spec": {...}}')
+            return
+        try:
+            status = self._manager.submit(kind, spec)
+        except ConfigurationError as error:
+            self._error(400, str(error))
+            return
+        self._send_json(201, status)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        route = self._route()
+        if len(route) != 2 or route[0] != "jobs":
+            self._error(404, f"no such route: DELETE {self.path}")
+            return
+        try:
+            self._send_json(200, self._manager.cancel(route[1]))
+        except UnknownJob as error:
+            self._error(404, f"no such job: {error.args[0]}")
+
+
+def make_server(
+    host: str,
+    port: int,
+    manager: JobManager,
+    quiet: bool = True,
+) -> ReproServer:
+    """Bind a :class:`ReproServer`; ``port=0`` picks an ephemeral port.
+
+    The caller owns both the server (``serve_forever``/``shutdown``) and the
+    manager (``close``); the bound port is ``server.server_address[1]``.
+    """
+    return ReproServer((host, port), manager, quiet=quiet)

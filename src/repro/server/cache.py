@@ -1,0 +1,132 @@
+"""Content-addressed result cache for per-cell simulation records.
+
+A cell's worker payload is already a complete, canonical description of the
+computation: protocol name, population size, parameters, derived seeds,
+backend/sampler/accel knobs, budget, and check cadence — all plain JSON.
+Hashing that canonical JSON together with the package's code fingerprint
+yields a content address: two jobs that would run the identical simulation
+produce the identical key, whatever their job names or submission order,
+while any code change or reseeding changes the key.
+
+The cache stores finished cell *records* (the dicts embedded in artifact
+documents).  Hits are merged into a job's document by the same shared
+helper ``--resume`` uses (:func:`repro.resume.merge_cells`), so a served
+artifact is indistinguishable from a freshly computed one —
+:func:`stable_document` makes that claim checkable by stripping the only
+legitimately varying fields (timestamps, wall times, worker counts).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from ..fingerprint import canonical_json, code_fingerprint, sha256_hex
+
+__all__ = ["VOLATILE_KEYS", "ResultCache", "cache_key", "stable_document"]
+
+#: Document/record keys that legitimately differ between two executions of
+#: the same computation; everything else must match bit for bit.
+VOLATILE_KEYS = frozenset({"generated_unix", "workers", "wall_time_s"})
+
+
+def cache_key(payload: Dict[str, Any], fingerprint: Optional[str] = None) -> str:
+    """The content address of one cell computation.
+
+    ``payload`` is the picklable worker payload (canonical spec-cell JSON,
+    including the derived seeds); ``fingerprint`` defaults to the current
+    :func:`~repro.fingerprint.code_fingerprint`.
+    """
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    return sha256_hex(canonical_json({"cell": payload, "code": fingerprint}))
+
+
+def stable_document(value: Any) -> Any:
+    """A deep copy of ``value`` with every volatile field removed.
+
+    Two artifact documents for the same spec and seeds — one computed by
+    workers, one assembled from cache hits, one written by the CLI — must
+    be equal under this projection; the CI smoke asserts exactly that.
+    """
+    if isinstance(value, dict):
+        return {
+            key: stable_document(item)
+            for key, item in value.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [stable_document(item) for item in value]
+    return value
+
+
+class ResultCache:
+    """Thread-safe LRU cache of finished cell records, content-addressed.
+
+    Args:
+        max_entries: Bound on stored records; the least recently used entry
+            is evicted beyond it.  Cell records are small (run summaries,
+            not trajectories), so the default comfortably covers thousands
+            of grid cells.
+
+    Records are deep-copied on both :meth:`put` and :meth:`get` so cached
+    data can never be mutated through a served document (or vice versa).
+    Only *successful* records are cached — a failed cell must re-run.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return a copy of the record stored under ``key``, or ``None``."""
+        with self._lock:
+            record = self._entries.get(key)
+            if record is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return copy.deepcopy(record)
+
+    def put(self, key: str, record: Dict[str, Any]) -> bool:
+        """Store a *successful* cell record; failed records are refused."""
+        if not record or record.get("error"):
+            return False
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = copy.deepcopy(record)
+            self._entries.move_to_end(key)
+            self._puts += 1
+            return True
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss accounting for the ``/cache/stats`` endpoint."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "puts": self._puts,
+                "evictions": self._evictions,
+                "hit_rate": round(self._hits / total, 4) if total else None,
+                "code_fingerprint": code_fingerprint(),
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (accounting is preserved)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,110 @@
+"""``repro-serve``: run the simulation job server.
+
+Examples::
+
+    repro-serve                          # 127.0.0.1:8765, all cores
+    repro-serve --port 0 --workers 2     # ephemeral port, two workers
+    curl -s localhost:8765/healthz
+
+The server announces its bound address on stdout (``repro-serve listening
+on http://HOST:PORT``) before accepting requests — with ``--port 0`` that
+line is how scripts learn the ephemeral port.  Ctrl-C shuts down cleanly:
+the HTTP loop stops, then the worker pool is torn down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..engine.errors import ReproError
+from ..fingerprint import PACKAGE_VERSION, code_fingerprint
+from .app import make_server
+from .cache import ResultCache
+from .jobs import JobManager
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve sweep/scenario/search jobs over HTTP with a "
+            "content-addressed result cache."
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: %(default)s; loopback only)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="port to bind; 0 picks an ephemeral port (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the shared pool (default: all cores)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "max cells handed to the pool per batch, also the cancellation "
+            "granularity (default: 2x workers, at least 4)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=4096,
+        help="result-cache capacity in cell records (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request and per-job log lines",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    try:
+        manager = JobManager(
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            cache=ResultCache(max_entries=args.cache_entries),
+            progress=progress,
+        )
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server = make_server(args.host, args.port, manager, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"(version {PACKAGE_VERSION}, fingerprint {code_fingerprint()}, "
+        f"{manager.workers} worker(s))",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.server_close()
+        manager.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

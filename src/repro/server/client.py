@@ -1,0 +1,138 @@
+"""A thin stdlib HTTP client for the job server.
+
+:class:`ReproClient` wraps :mod:`urllib.request` so tests, scripts, and the
+CI smoke can drive ``repro-serve`` without any HTTP dependency.  Error
+responses (the server's JSON ``{"error": ...}`` bodies) surface as
+:class:`ServerError` with the HTTP status attached, so callers can branch
+on 409 (artifact not ready) versus 400/404 (caller bugs).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ReproClient", "ServerError"]
+
+#: Job states that will never change again.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class ServerError(Exception):
+    """A non-2xx response from the job server.
+
+    Attributes:
+        status: The HTTP status code (0 when the server was unreachable).
+        message: The server's ``error`` message, or the transport failure.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status else message)
+        self.status = status
+        self.message = message
+
+
+class ReproClient:
+    """Talk to one ``repro-serve`` instance.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8765"`` (trailing slash ignored).
+        timeout_s: Per-request socket timeout.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------ transport
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except json.JSONDecodeError:
+                message = raw or error.reason
+            raise ServerError(error.code, str(message)) from None
+        except urllib.error.URLError as error:
+            raise ServerError(0, f"server unreachable: {error.reason}") from None
+
+    # ------------------------------------------------------------ endpoints
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/cache/stats")
+
+    def submit(self, kind: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one job; returns its initial status (including ``job_id``)."""
+        return self._request("POST", "/jobs", {"kind": kind, "spec": spec})
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def artifact(self, job_id: str) -> Dict[str, Any]:
+        """The finished document; raises :class:`ServerError` 409 until done."""
+        return self._request("GET", f"/jobs/{job_id}/artifact")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its status.
+
+        Raises :class:`ServerError` (status 0) if ``timeout_s`` elapses
+        first — the job keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServerError(
+                    0,
+                    f"job {job_id!r} still {status['state']} after {timeout_s:g}s",
+                )
+            time.sleep(poll_s)
+
+    def run(
+        self,
+        kind: str,
+        spec: Dict[str, Any],
+        timeout_s: float = 300.0,
+    ) -> Dict[str, Any]:
+        """Submit, wait, and return the artifact (convenience one-shot)."""
+        job_id = self.submit(kind, spec)["job_id"]
+        status = self.wait(job_id, timeout_s=timeout_s)
+        if status["state"] != "done":
+            raise ServerError(
+                0, f"job {job_id!r} finished {status['state']}: {status['error']}"
+            )
+        return self.artifact(job_id)

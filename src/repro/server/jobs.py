@@ -1,0 +1,582 @@
+"""Asynchronous job scheduling over the shared experiment worker pool.
+
+A *job* is one spec of any of the three existing kinds — a sweep, a chaos
+scenario, or a frontier search — submitted as JSON.  The
+:class:`JobManager` owns a single spawn-safe
+:class:`~repro.experiments.runner.PoolExecutor` shared by every job and
+kind (the per-batch executor override routes each cell to the right worker
+entry point), a FIFO dispatch queue, and the content-addressed
+:class:`~repro.server.cache.ResultCache`.
+
+Scheduling model:
+
+* Jobs run strictly FIFO, one at a time, on a background dispatcher
+  thread; their *cells* fan out across the pool's worker processes in
+  bounded chunks of at most ``max_inflight`` — the knob that keeps one
+  giant grid from monopolising the pool unboundedly and gives
+  cancellation its granularity.
+* Before a cell is scheduled its cache key is looked up; a hit reuses the
+  stored record and the cell never reaches a worker.  Hits and fresh runs
+  are merged by :func:`repro.resume.merge_cells` — the exact helper
+  ``--resume`` uses — so a cache-assembled document is indistinguishable
+  from a computed one.
+* Cancellation (``DELETE /jobs/<id>``) is immediate for queued jobs and
+  takes effect at the next chunk boundary (or, for searches, the next
+  probe) for running ones; in-flight cells finish and still populate the
+  cache.
+
+Search jobs schedule their probes through the same pool and cache via
+:class:`CachingPool`, so a resubmitted search replays its probe history
+for free.
+"""
+
+from __future__ import annotations
+
+import queue
+import re
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..engine.errors import ConfigurationError
+from ..experiments.artifacts import build_document as _build_sweep_document
+from ..experiments.runner import PoolExecutor, cell_payload, execute_cell
+from ..experiments.spec import SweepSpec
+from ..fingerprint import code_fingerprint
+from ..resume import merge_cells
+from ..scenarios.artifacts import build_document as _build_scenario_document
+from ..scenarios.artifacts import build_frontier_document
+from ..scenarios.runner import execute_scenario_cell, scenario_cell_payload
+from ..scenarios.search import FrontierRunner, SearchSpec
+from ..scenarios.spec import ScenarioSpec
+from .cache import ResultCache, cache_key
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "CachingPool",
+    "JobKind",
+    "JobManager",
+    "JobNotReady",
+    "UnknownJob",
+]
+
+Progress = Optional[Callable[[str], None]]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class UnknownJob(KeyError):
+    """No job with the requested id exists."""
+
+
+class JobNotReady(Exception):
+    """The job exists but has no artifact (not done, failed, or cancelled)."""
+
+    def __init__(self, job_id: str, state: str) -> None:
+        super().__init__(f"job {job_id!r} has no artifact (state: {state})")
+        self.job_id = job_id
+        self.state = state
+
+
+@dataclass(frozen=True)
+class JobKind:
+    """How one spec kind plugs into the job machinery.
+
+    Grid kinds (sweep, scenario) declare the cell payload builder, worker
+    entry point, and document builder; the search kind drives
+    :class:`~repro.scenarios.search.FrontierRunner` instead and leaves the
+    grid fields ``None``.
+    """
+
+    kind: str
+    artifact: str
+    load_spec: Callable[[Dict[str, Any]], Any]
+    executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
+    payloads: Optional[Callable[[Any, List[Any]], List[Dict[str, Any]]]] = None
+    build_document: Optional[Callable[[Any, List[Dict[str, Any]], int], Dict[str, Any]]] = None
+
+
+def _sweep_payloads(spec: SweepSpec, cells: List[Any]) -> List[Dict[str, Any]]:
+    return [cell_payload(spec, cell) for cell in cells]
+
+
+def _scenario_payloads(spec: ScenarioSpec, cells: List[Any]) -> List[Dict[str, Any]]:
+    spec_dict = spec.to_dict()
+    return [scenario_cell_payload(spec_dict, cell) for cell in cells]
+
+
+JOB_KINDS: Dict[str, JobKind] = {
+    kind.kind: kind
+    for kind in (
+        JobKind(
+            kind="sweep",
+            artifact="sweep",
+            load_spec=SweepSpec.from_dict,
+            executor=execute_cell,
+            payloads=_sweep_payloads,
+            build_document=_build_sweep_document,
+        ),
+        JobKind(
+            kind="scenario",
+            artifact="scenario",
+            load_spec=ScenarioSpec.from_dict,
+            executor=execute_scenario_cell,
+            payloads=_scenario_payloads,
+            build_document=_build_scenario_document,
+        ),
+        JobKind(
+            kind="search",
+            artifact="frontier",
+            load_spec=SearchSpec.from_dict,
+        ),
+    )
+}
+
+
+class CachingPool:
+    """A :class:`PoolExecutor` facade that consults the result cache first.
+
+    Payload-shaped batches pass through unchanged, except that payloads
+    whose content address is already cached return their stored record
+    without touching a worker.  Fresh successful records are stored on the
+    way out.  Used to route search probes (scheduled internally by
+    :class:`~repro.scenarios.search.FrontierRunner`) through the shared
+    cache; the pool itself is borrowed, so :meth:`close` is a no-op.
+    """
+
+    def __init__(
+        self,
+        pool: PoolExecutor,
+        cache: ResultCache,
+        on_hit: Optional[Callable[[Dict[str, Any]], None]] = None,
+        on_fresh: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self._pool = pool
+        self._cache = cache
+        self._on_hit = on_hit
+        self._on_fresh = on_fresh
+        self.workers = pool.workers
+
+    def map(
+        self,
+        payloads: List[Dict[str, Any]],
+        timeout_s: Optional[float] = None,
+        on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
+        executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ) -> List[Dict[str, Any]]:
+        fingerprint = code_fingerprint()
+        results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        misses: List[Any] = []
+        for index, payload in enumerate(payloads):
+            key = cache_key(payload, fingerprint)
+            record = self._cache.get(key)
+            if record is not None:
+                results[index] = record
+                if self._on_hit:
+                    self._on_hit(record)
+                if on_result:
+                    on_result(record)
+            else:
+                misses.append((index, key, payload))
+        if misses:
+            fresh = self._pool.map(
+                [payload for _, _, payload in misses],
+                timeout_s=timeout_s,
+                on_result=on_result,
+                executor=executor,
+            )
+            for (index, key, _payload), record in zip(misses, fresh):
+                results[index] = record
+                if record is not None:
+                    self._cache.put(key, record)
+                    if self._on_fresh:
+                        self._on_fresh(record)
+        return [record for record in results if record is not None]
+
+    def close(self) -> None:
+        """No-op: the underlying pool belongs to the job manager."""
+
+
+class Job:
+    """One submitted spec and its lifecycle bookkeeping (manager-internal)."""
+
+    def __init__(self, job_id: str, kind: str, spec: Any, spec_dict: Dict[str, Any]) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.spec = spec
+        self.spec_dict = spec_dict
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.document: Optional[Dict[str, Any]] = None
+        self.cancel = threading.Event()
+        self.submitted_unix = time.time()
+        self.started_unix: Optional[float] = None
+        self.finished_unix: Optional[float] = None
+        self.cached = 0
+        self.executed = 0
+        self.runner: Optional[FrontierRunner] = None
+        if kind == "search":
+            self.cells: Dict[str, str] = {}
+            self.total_cells: Optional[int] = None
+        else:
+            self.cells = {cell.cell_id: "pending" for cell in spec.cells()}
+            self.total_cells = len(self.cells)
+
+
+def _chunks(items: List[Any], size: int) -> List[List[Any]]:
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+_ID_SANITISER = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class JobManager:
+    """Schedule submitted jobs on one shared worker pool, FIFO, cache-first.
+
+    Args:
+        workers: Worker process count for the shared pool (``None``: all
+            cores; below 2 executes cells serially on the dispatcher
+            thread, the mode the test suite uses).
+        max_inflight: Upper bound on cells handed to the pool per batch;
+            also the cancellation granularity.  Defaults to twice the
+            worker count (at least 4).
+        cache: The shared :class:`ResultCache`; a fresh default-sized one
+            when omitted.
+        progress: Optional line-oriented progress callback (server log).
+        executor_overrides: Test seam — per-kind replacement worker entry
+            points (e.g. an instrumented slow executor for cancellation
+            tests).  Only safe with in-process execution or picklable
+            callables.
+        retries: Lost-worker re-submissions, forwarded to the pool.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Progress = None,
+        executor_overrides: Optional[Dict[str, Callable]] = None,
+        retries: int = 1,
+    ) -> None:
+        self.progress = progress
+        self.cache = cache if cache is not None else ResultCache()
+        self._overrides = dict(executor_overrides or {})
+        self._pool = PoolExecutor(
+            execute_cell, workers=workers, retries=retries, progress=progress
+        )
+        self.workers = self._pool.workers
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else max(4, 2 * self.workers)
+        )
+        if self.max_inflight < 1:
+            raise ConfigurationError("max_inflight must be at least 1")
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._seq = 0
+        self._stop = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-job-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop the dispatcher and shut the pool down (idempotent)."""
+        self._stop.set()
+        if self._dispatcher.is_alive():
+            self._dispatcher.join(timeout=10.0)
+        self._pool.close()
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _report(self, line: str) -> None:
+        if self.progress:
+            self.progress(line)
+
+    # ------------------------------------------------------------ submission
+    def submit(self, kind: str, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate and enqueue one job; returns its status snapshot.
+
+        Raises :class:`~repro.engine.errors.ConfigurationError` for an
+        unknown kind or an invalid spec — the HTTP layer maps that to a
+        400 with the validation message.
+        """
+        job_kind = JOB_KINDS.get(kind)
+        if job_kind is None:
+            raise ConfigurationError(
+                f"unknown job kind {kind!r}; expected one of {tuple(JOB_KINDS)}"
+            )
+        if not isinstance(spec_dict, dict):
+            raise ConfigurationError("the job spec must be a JSON object")
+        spec = job_kind.load_spec(spec_dict)
+        with self._lock:
+            self._seq += 1
+            name = _ID_SANITISER.sub("-", str(spec.name)) or "unnamed"
+            job_id = f"{kind}-{self._seq:04d}-{name}"
+            job = Job(job_id, kind, spec, spec.to_dict())
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        self._queue.put(job_id)
+        self._report(f"job {job_id}: queued ({job.total_cells or '?'} cells)")
+        return self.status(job_id)
+
+    # ---------------------------------------------------------------- access
+    def _get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(job_id)
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """A JSON-ready snapshot of one job's state and per-cell progress."""
+        job = self._get(job_id)
+        with self._lock:
+            if job.kind == "search":
+                history = job.runner.history if job.runner is not None else []
+                progress = {
+                    "total_cells": None,
+                    "max_probes": job.spec.max_probes,
+                    "completed_cells": len(history),
+                    "cached_cells": job.cached,
+                    "executed_cells": job.executed,
+                    "failed_cells": [],
+                }
+            else:
+                cells = dict(job.cells)
+                progress = {
+                    "total_cells": job.total_cells,
+                    "completed_cells": job.cached + job.executed,
+                    "cached_cells": job.cached,
+                    "executed_cells": job.executed,
+                    "failed_cells": sorted(
+                        cell_id for cell_id, state in cells.items() if state == "failed"
+                    ),
+                    "cells": cells,
+                }
+            return {
+                "job_id": job.id,
+                "kind": job.kind,
+                "name": job.spec.name,
+                "state": job.state,
+                "cancel_requested": job.cancel.is_set(),
+                "submitted_unix": job.submitted_unix,
+                "started_unix": job.started_unix,
+                "finished_unix": job.finished_unix,
+                "error": job.error,
+                "progress": progress,
+            }
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Status snapshots of every job, in submission order."""
+        with self._lock:
+            order = list(self._order)
+        return [self.status(job_id) for job_id in order]
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts per state (for ``/healthz``)."""
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def artifact(self, job_id: str) -> Dict[str, Any]:
+        """The finished document of a done job.
+
+        Raises :class:`JobNotReady` while the job is queued/running and for
+        failed or cancelled jobs (their error travels in the status).
+        """
+        job = self._get(job_id)
+        with self._lock:
+            if job.state != "done" or job.document is None:
+                raise JobNotReady(job_id, job.state)
+            return job.document
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; immediate for queued jobs.
+
+        Running jobs stop at the next chunk boundary (grid kinds) or probe
+        (searches); already-finished jobs are left untouched.
+        """
+        job = self._get(job_id)
+        with self._lock:
+            if job.state in _TERMINAL_STATES:
+                return {"job_id": job.id, "state": job.state, "cancelled": False}
+            job.cancel.set()
+            if job.state == "queued":
+                job.state = "cancelled"
+                job.error = "cancelled while queued"
+                job.finished_unix = time.time()
+                self._report(f"job {job.id}: cancelled while queued")
+                return {"job_id": job.id, "state": job.state, "cancelled": True}
+        self._report(f"job {job.id}: cancellation requested")
+        return {"job_id": job.id, "state": "running", "cancelled": True}
+
+    # ------------------------------------------------------------ dispatcher
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            with self._lock:
+                if job.state != "queued":
+                    continue  # cancelled while waiting in the queue
+                job.state = "running"
+                job.started_unix = time.time()
+            self._report(f"job {job.id}: running")
+            try:
+                if job.kind == "search":
+                    self._run_search_job(job)
+                else:
+                    self._run_grid_job(job)
+            except Exception:  # noqa: BLE001 - job must fail, not the server
+                with self._lock:
+                    job.state = "failed"
+                    job.error = traceback.format_exc()
+                    job.finished_unix = time.time()
+                self._report(f"job {job.id}: FAILED (internal error)")
+
+    def _executor_for(self, kind: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+        override = self._overrides.get(kind)
+        if override is not None:
+            return override
+        job_kind = JOB_KINDS[kind]
+        return job_kind.executor if job_kind.executor else execute_scenario_cell
+
+    def _note_cell_result(self, job: Job, record: Dict[str, Any]) -> None:
+        with self._lock:
+            cell_id = record.get("cell_id")
+            if cell_id in job.cells:
+                job.cells[cell_id] = "failed" if record.get("error") else "done"
+            job.executed += 1
+
+    def _run_grid_job(self, job: Job) -> None:
+        kind = JOB_KINDS[job.kind]
+        spec = job.spec
+        cells = spec.cells()
+        payloads = kind.payloads(spec, cells)
+        fingerprint = code_fingerprint()
+        keys = [cache_key(payload, fingerprint) for payload in payloads]
+
+        cached_records: List[Dict[str, Any]] = []
+        pending: List[Any] = []
+        for cell, payload, key in zip(cells, payloads, keys):
+            record = self.cache.get(key)
+            if record is not None:
+                cached_records.append(record)
+                with self._lock:
+                    job.cells[cell.cell_id] = "cached"
+                    job.cached += 1
+            else:
+                pending.append((cell, payload, key))
+        if cached_records:
+            self._report(
+                f"job {job.id}: {len(cached_records)} of {len(cells)} cells "
+                f"served from cache"
+            )
+
+        executor = self._executor_for(job.kind)
+        timeout = None
+        if spec.cell_timeout_s is not None:
+            # Grace over the in-worker budget so the worker's own timeout
+            # record (which preserves completed runs) wins when possible.
+            timeout = spec.cell_timeout_s + 30.0
+        fresh: List[Dict[str, Any]] = []
+        for chunk in _chunks(pending, self.max_inflight):
+            if job.cancel.is_set():
+                break
+            records = self._pool.map(
+                [payload for _cell, payload, _key in chunk],
+                timeout_s=timeout,
+                on_result=lambda record: self._note_cell_result(job, record),
+                executor=executor,
+            )
+            for (_cell, _payload, key), record in zip(chunk, records):
+                fresh.append(record)
+                if record is not None:
+                    self.cache.put(key, record)
+
+        if job.cancel.is_set():
+            with self._lock:
+                job.state = "cancelled"
+                job.error = (
+                    f"cancelled after {len(fresh)} of {len(pending)} pending "
+                    f"cells ran"
+                )
+                job.finished_unix = time.time()
+            self._report(f"job {job.id}: cancelled")
+            return
+
+        # Cache hits merge with fresh runs through the exact helper
+        # --resume uses; fresh failures never displace cached successes.
+        merged = merge_cells(
+            {"cells": cached_records, "code_fingerprint": fingerprint}, fresh, spec
+        )
+        document = kind.build_document(spec, merged, self.workers)
+        with self._lock:
+            job.document = document
+            job.state = "done"
+            job.finished_unix = time.time()
+        failed = document.get("failed_cells") or []
+        self._report(
+            f"job {job.id}: done ({len(merged)} cells, {job.cached} cached, "
+            f"{len(failed)} failed)"
+        )
+
+    def _run_search_job(self, job: Job) -> None:
+        spec = job.spec
+        caching_pool = CachingPool(
+            self._pool,
+            self.cache,
+            on_hit=lambda record: self._note_probe(job, cached=True),
+            on_fresh=lambda record: self._note_probe(job, cached=False),
+        )
+        runner = FrontierRunner(
+            spec,
+            progress=self.progress,
+            executor=self._executor_for("search"),
+            pool=caching_pool,  # type: ignore[arg-type] - duck-typed facade
+            should_abort=job.cancel.is_set,
+        )
+        with self._lock:
+            job.runner = runner
+        try:
+            result = runner.run()
+        except Exception as error:  # noqa: BLE001 - abort and probe failures
+            with self._lock:
+                job.state = "cancelled" if job.cancel.is_set() else "failed"
+                job.error = str(error)
+                job.finished_unix = time.time()
+            self._report(f"job {job.id}: {job.state} ({job.error})")
+            return
+        document = build_frontier_document(spec, result, runner.history, self.workers)
+        with self._lock:
+            job.document = document
+            job.state = "done"
+            job.finished_unix = time.time()
+        self._report(
+            f"job {job.id}: done ({len(runner.history)} probes, "
+            f"{job.cached} cached)"
+        )
+
+    def _note_probe(self, job: Job, cached: bool) -> None:
+        with self._lock:
+            if cached:
+                job.cached += 1
+            else:
+                job.executed += 1

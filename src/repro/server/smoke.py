@@ -1,0 +1,213 @@
+"""End-to-end smoke for the job server; the CI demo.
+
+Boots ``repro-serve`` as a subprocess on an ephemeral port, submits a
+builtin sweep **twice**, and asserts the service contract:
+
+* the first job computes every cell on the workers,
+* the second identical job is served *entirely* from the result cache
+  (``executed_cells == 0``, ``/cache/stats`` hits >= grid size),
+* both served artifacts agree under :func:`~repro.server.cache.stable_document`,
+* and, with ``--compare``, the served artifact equals the document the
+  batch CLI wrote for the same spec — cache, server, and CLI are three
+  routes to one byte-identical (modulo timestamps) result.
+
+Usage (CI runs exactly this)::
+
+    python -m repro.server.smoke --workers 2 \\
+        --compare reports/SWEEP_counting-smoke.json \\
+        --output reports/SERVED_counting-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+from typing import List, Optional
+
+from ..experiments.builtin import resolve_builtin
+from .cache import stable_document
+from .client import ReproClient
+
+__all__ = ["main"]
+
+_LISTENING = re.compile(r"repro-serve listening on http://([^:\s]+):(\d+)")
+
+
+class SmokeFailure(Exception):
+    """An assertion of the service contract did not hold."""
+
+
+def _drain(stream, sink: List[str]) -> None:
+    for line in stream:
+        sink.append(line)
+
+
+def _start_server(workers: int) -> "tuple[subprocess.Popen, str, List[str]]":
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server.cli",
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+            "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    base_url = None
+    log: List[str] = []
+    assert process.stdout is not None
+    for line in process.stdout:
+        log.append(line)
+        match = _LISTENING.search(line)
+        if match:
+            base_url = f"http://{match.group(1)}:{match.group(2)}"
+            break
+    if base_url is None:
+        process.wait(timeout=10)
+        raise SmokeFailure(
+            "server never announced its address; output:\n" + "".join(log)
+        )
+    # Keep the pipe drained so the server can never block on a full buffer.
+    threading.Thread(
+        target=_drain, args=(process.stdout, log), daemon=True
+    ).start()
+    return process, base_url, log
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.smoke",
+        description="Boot repro-serve and prove the submit/cache/serve contract.",
+    )
+    parser.add_argument(
+        "--sweep",
+        default="counting-smoke",
+        help="builtin sweep to submit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="server worker processes"
+    )
+    parser.add_argument(
+        "--timeout-s", type=float, default=600.0, help="per-job wait budget"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="CLI-written SWEEP_*.json to compare the served artifact against",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the served artifact document",
+    )
+    args = parser.parse_args(argv)
+
+    spec = resolve_builtin(args.sweep)
+    spec_dict = spec.to_dict()
+    grid = len(spec.cells())
+    process = base_url = None
+    log: List[str] = []
+    try:
+        process, base_url, log = _start_server(args.workers)
+        client = ReproClient(base_url)
+
+        health = client.healthz()
+        print(f"healthz: version {health['version']}, {health['workers']} worker(s)")
+
+        first = client.submit("sweep", spec_dict)
+        done_first = client.wait(first["job_id"], timeout_s=args.timeout_s)
+        _expect(
+            done_first["state"] == "done",
+            f"first job finished {done_first['state']}: {done_first['error']}",
+        )
+        progress = done_first["progress"]
+        _expect(
+            progress["executed_cells"] == grid and progress["cached_cells"] == 0,
+            f"first job should compute all {grid} cells, got {progress}",
+        )
+        artifact_first = client.artifact(first["job_id"])
+        print(f"job 1 ({first['job_id']}): computed {grid}/{grid} cells")
+
+        second = client.submit("sweep", spec_dict)
+        done_second = client.wait(second["job_id"], timeout_s=args.timeout_s)
+        _expect(
+            done_second["state"] == "done",
+            f"second job finished {done_second['state']}: {done_second['error']}",
+        )
+        progress = done_second["progress"]
+        _expect(
+            progress["cached_cells"] == grid and progress["executed_cells"] == 0,
+            f"second job should be fully cached, got {progress}",
+        )
+        artifact_second = client.artifact(second["job_id"])
+        print(f"job 2 ({second['job_id']}): served {grid}/{grid} cells from cache")
+
+        stats = client.cache_stats()
+        _expect(
+            stats["hits"] >= grid,
+            f"expected at least {grid} cache hits, got {stats}",
+        )
+        print(
+            f"cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"({stats['entries']} entries)"
+        )
+
+        _expect(
+            stable_document(artifact_first) == stable_document(artifact_second),
+            "computed and cache-served artifacts differ beyond volatile fields",
+        )
+        print("artifact equivalence: computed == cache-served")
+
+        if args.compare:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                cli_document = json.load(handle)
+            _expect(
+                stable_document(cli_document) == stable_document(artifact_second),
+                f"served artifact differs from CLI artifact {args.compare} "
+                f"beyond volatile fields",
+            )
+            print(f"artifact equivalence: served == CLI ({args.compare})")
+
+        if args.output:
+            directory = os.path.dirname(args.output)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(artifact_second, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"served artifact written to {args.output}")
+
+        print("server smoke: PASS")
+        return 0
+    except SmokeFailure as failure:
+        print(f"server smoke: FAIL - {failure}", file=sys.stderr)
+        if log:
+            print("server output:\n" + "".join(log), file=sys.stderr)
+        return 1
+    finally:
+        if process is not None:
+            process.terminate()
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=15)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -116,9 +116,9 @@ def test_fit_power_law_recovers_exact_exponent():
 def test_execute_cell_runs_and_summarises():
     spec = _tiny_spec()
     cell = spec.cells()[0]
-    from repro.experiments.runner import _cell_payload
+    from repro.experiments.runner import cell_payload
 
-    record = execute_cell(_cell_payload(spec, cell))
+    record = execute_cell(cell_payload(spec, cell))
     assert record["error"] is None
     assert len(record["runs"]) == spec.seeds_per_cell
     assert record["stats"]["converged_runs"] == spec.seeds_per_cell
@@ -128,9 +128,9 @@ def test_execute_cell_runs_and_summarises():
 def test_execute_cell_captures_failures_per_cell():
     spec = _tiny_spec()
     cell = spec.cells()[0]
-    from repro.experiments.runner import _cell_payload
+    from repro.experiments.runner import cell_payload
 
-    payload = _cell_payload(spec, cell)
+    payload = cell_payload(spec, cell)
     payload["backend"] = "gpu"  # force a ConfigurationError inside the worker
     record = execute_cell(payload)
     assert record["error"] is not None and "gpu" in record["error"]
@@ -173,6 +173,52 @@ def test_artifact_write_load_resume_cycle(tmp_path):
     merged = merge_cells(loaded, fresh, spec)
     assert [cell["cell_id"] for cell in merged] == [cell.cell_id for cell in spec.cells()]
     assert merged[0]["wall_time_s"] == 123.0
+
+
+def test_merge_cells_keeps_previous_success_over_fresh_failure():
+    spec = _tiny_spec()
+    cells = spec.cells()
+
+    def record(cell, error=None):
+        return {
+            "cell_id": cell.cell_id,
+            "seeds": list(cell.seeds),
+            "runs": [] if error else [{"seed": seed} for seed in cell.seeds],
+            "stats": None if error else {},
+            "error": error,
+        }
+
+    previous = {"cells": [record(cell) for cell in cells]}
+    # A transient re-run failure must not downgrade a complete success ...
+    merged = merge_cells(previous, [record(cells[0], error="worker lost")], spec)
+    assert merged[0]["error"] is None
+    assert merged[0]["runs"]
+    # ... but a fresh success still wins over the previous record,
+    fresh_ok = dict(record(cells[0]), marker=True)
+    assert merge_cells(previous, [fresh_ok], spec)[0]["marker"] is True
+    # and a fresh failure does replace a previously *failed* cell.
+    broken_previous = {"cells": [record(cells[0], error="old")]}
+    merged = merge_cells(broken_previous, [record(cells[0], error="new")], spec)
+    assert merged[0]["error"] == "new"
+
+
+def test_documents_from_other_code_versions_are_stale():
+    from repro.fingerprint import code_fingerprint, spec_sha256
+
+    spec = _tiny_spec()
+    records = SweepRunner(spec, workers=1).run()
+    document = build_document(spec, records, workers=1)
+    assert document["code_fingerprint"] == code_fingerprint()
+    assert document["spec_sha256"] == spec_sha256(spec.to_dict())
+
+    # A matching stamp resumes; any other stamp invalidates everything.
+    assert completed_cell_ids(document, spec)
+    foreign = dict(document, code_fingerprint="0.0.0+000000000000")
+    assert completed_cell_ids(foreign, spec) == set()
+    assert merge_cells(foreign, [], spec) == []
+    # Pre-stamp documents (no field) are still accepted.
+    unstamped = {key: value for key, value in document.items() if key != "code_fingerprint"}
+    assert completed_cell_ids(unstamped, spec)
 
 
 def test_load_document_rejects_foreign_json(tmp_path):

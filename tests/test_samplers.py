@@ -426,7 +426,7 @@ def test_spec_layers_carry_the_sampler_knob():
 
 
 def test_sweep_payload_threads_the_sampler_to_workers():
-    from repro.experiments.runner import _cell_payload, execute_cell
+    from repro.experiments.runner import cell_payload, execute_cell
     from repro.experiments.spec import SweepSpec
 
     spec = SweepSpec(
@@ -438,7 +438,7 @@ def test_sweep_payload_threads_the_sampler_to_workers():
         sampler="fenwick",
         max_checks=10,
     )
-    payload = _cell_payload(spec, spec.cells()[0])
+    payload = cell_payload(spec, spec.cells()[0])
     assert payload["sampler"] == "fenwick"
     record = execute_cell(payload)
     assert record["error"] is None

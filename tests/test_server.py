@@ -1,0 +1,540 @@
+"""Tests of the simulation-as-a-service job server (PR 7 tentpole).
+
+The manager tests run with ``workers=1`` — the shared pool's serial
+in-process mode — so non-picklable instrumented executors can be injected
+through the ``executor_overrides`` seam and lifecycle transitions are
+deterministic.  The HTTP tests bind a real :class:`ReproServer` on an
+ephemeral port and drive it through :class:`ReproClient`.
+"""
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine.errors import ConfigurationError
+from repro.experiments import BudgetPolicy, SweepRunner, SweepSpec
+from repro.experiments import build_document as build_sweep_document
+from repro.fingerprint import code_fingerprint, spec_sha256
+from repro.scenarios import (
+    DimensionSpec,
+    EventSpec,
+    GuaranteeSpec,
+    ScenarioSpec,
+    SearchSpec,
+)
+from repro.server import (
+    JobManager,
+    JobNotReady,
+    ReproClient,
+    ResultCache,
+    ServerError,
+    UnknownJob,
+    cache_key,
+    stable_document,
+)
+from repro.server.app import make_server
+from repro.server.cache import VOLATILE_KEYS
+
+
+# --------------------------------------------------------------------------
+# Fixtures
+# --------------------------------------------------------------------------
+
+
+def tiny_sweep(**overrides):
+    defaults = dict(
+        name="tiny-serve",
+        protocol="one-way-epidemic",
+        ns=[8, 16],
+        seeds_per_cell=1,
+        backend="batch",
+        budget=BudgetPolicy(factor=64.0, n_exponent=1.0, log_exponent=1.0),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def tiny_scenario(**overrides):
+    defaults = dict(
+        name="tiny-serve-chaos",
+        protocol="one-way-epidemic",
+        ns=[16],
+        backends=["batch"],
+        seeds_per_cell=1,
+        events=[
+            EventSpec(
+                kind="leave",
+                fraction=0.25,
+                at=BudgetPolicy(factor=4.0, n_exponent=1.0, log_exponent=1.0),
+            )
+        ],
+        budget=BudgetPolicy(factor=64.0, n_exponent=1.0, log_exponent=1.0),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def tiny_search(**overrides):
+    defaults = dict(
+        name="tiny-serve-search",
+        scenario=tiny_scenario(name="tiny-serve-search-base"),
+        dimensions=[
+            DimensionSpec(event=0, dimension="fraction", low=0.1, high=0.9)
+        ],
+        guarantee=GuaranteeSpec(kind="recovered"),
+        strategy="bisect",
+        seeds_per_probe=1,
+        tolerance=0.1,
+    )
+    defaults.update(overrides)
+    return SearchSpec(**defaults)
+
+
+def oracle_search_executor(breaks_above=0.5):
+    """A fake scenario-cell executor: runs converge below the threshold."""
+
+    def execute(payload):
+        value = payload["spec"]["events"][0]["fraction"]
+        broken = value > breaks_above
+        runs = [
+            {
+                "seed": seed,
+                "converged": not broken,
+                "post_accuracy": 0.0 if broken else 1.0,
+                "stopped_reason": "budget" if broken else "converged",
+                "interactions": 100,
+            }
+            for seed in payload["seeds"]
+        ]
+        return {
+            "cell_id": payload["cell_id"],
+            "n": payload["n"],
+            "params": payload["params"],
+            "seeds": payload["seeds"],
+            "runs": runs,
+            "stats": None,
+            "error": None,
+            "wall_time_s": 0.0,
+        }
+
+    return execute
+
+
+def wait_terminal(manager, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status = manager.status(job_id)
+        if status["state"] in ("done", "failed", "cancelled"):
+            return status
+        assert time.monotonic() < deadline, f"job {job_id} stuck: {status}"
+        time.sleep(0.02)
+
+
+@pytest.fixture
+def manager():
+    mgr = JobManager(workers=1)
+    yield mgr
+    mgr.close()
+
+
+# --------------------------------------------------------------------------
+# Cache key and stable projection
+# --------------------------------------------------------------------------
+
+
+def test_cache_key_is_deterministic_and_content_addressed():
+    payload = {"cell_id": "c", "n": 8, "seeds": [1, 2]}
+    assert cache_key(payload) == cache_key(dict(payload))
+    assert cache_key(payload) != cache_key({**payload, "n": 16})
+    assert cache_key(payload, "v1") != cache_key(payload, "v2")
+    assert cache_key(payload) == cache_key(payload, code_fingerprint())
+
+
+def test_stable_document_strips_volatile_keys_recursively():
+    document = {
+        "generated_unix": 123,
+        "workers": 8,
+        "cells": [
+            {"cell_id": "a", "wall_time_s": 1.5, "runs": [{"wall_time_s": 0.2}]}
+        ],
+    }
+    stable = stable_document(document)
+    assert "generated_unix" not in stable
+    assert "workers" not in stable
+    assert "wall_time_s" not in stable["cells"][0]
+    assert stable["cells"][0]["runs"] == [{}]
+    # The original is untouched.
+    assert document["cells"][0]["wall_time_s"] == 1.5
+    assert VOLATILE_KEYS == {"generated_unix", "workers", "wall_time_s"}
+
+
+# --------------------------------------------------------------------------
+# ResultCache
+# --------------------------------------------------------------------------
+
+
+def test_result_cache_round_trip_isolates_stored_records():
+    cache = ResultCache()
+    record = {"cell_id": "a", "error": None, "stats": {"runs": 2}}
+    assert cache.put("k", record)
+    record["stats"]["runs"] = 99  # caller mutation must not reach the cache
+    first = cache.get("k")
+    assert first["stats"]["runs"] == 2
+    first["stats"]["runs"] = 77  # nor must mutating a served copy
+    assert cache.get("k")["stats"]["runs"] == 2
+
+
+def test_result_cache_refuses_failed_records():
+    cache = ResultCache()
+    assert not cache.put("k", {"cell_id": "a", "error": "boom"})
+    assert not cache.put("k", {})
+    assert cache.get("k") is None
+    assert cache.stats()["entries"] == 0
+
+
+def test_result_cache_evicts_least_recently_used():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", {"cell_id": "a"})
+    cache.put("b", {"cell_id": "b"})
+    assert cache.get("a") is not None  # refresh "a"; "b" is now LRU
+    cache.put("c", {"cell_id": "c"})
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_result_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)
+
+
+# --------------------------------------------------------------------------
+# JobManager lifecycle
+# --------------------------------------------------------------------------
+
+
+def test_sweep_job_lifecycle_then_full_cache_hit(manager):
+    spec = tiny_sweep()
+    first = manager.submit("sweep", spec.to_dict())
+    assert first["state"] in ("queued", "running", "done")
+    status = wait_terminal(manager, first["job_id"])
+    assert status["state"] == "done"
+    assert status["progress"]["executed_cells"] == 2
+    assert status["progress"]["cached_cells"] == 0
+    assert status["progress"]["failed_cells"] == []
+    artifact = manager.artifact(first["job_id"])
+    assert artifact["code_fingerprint"] == code_fingerprint()
+    assert artifact["spec_sha256"] == spec_sha256(spec.to_dict())
+    assert [cell["cell_id"] for cell in artifact["cells"]] == [
+        cell.cell_id for cell in spec.cells()
+    ]
+
+    second = manager.submit("sweep", spec.to_dict())
+    status = wait_terminal(manager, second["job_id"])
+    assert status["state"] == "done"
+    assert status["progress"]["cached_cells"] == 2
+    assert status["progress"]["executed_cells"] == 0
+    assert set(status["progress"]["cells"].values()) == {"cached"}
+    again = manager.artifact(second["job_id"])
+    assert stable_document(again) == stable_document(artifact)
+    stats = manager.cache.stats()
+    assert stats["hits"] == 2 and stats["puts"] == 2
+
+
+def test_served_sweep_matches_inline_runner_document(manager):
+    spec = tiny_sweep(name="tiny-serve-equiv")
+    job = manager.submit("sweep", spec.to_dict())
+    wait_terminal(manager, job["job_id"])
+    served = manager.artifact(job["job_id"])
+    cells = SweepRunner(spec, workers=1).run()
+    inline = build_sweep_document(spec, cells, workers=1)
+    assert stable_document(served) == stable_document(inline)
+
+
+def test_scenario_job_lifecycle(manager):
+    spec = tiny_scenario()
+    job = manager.submit("scenario", spec.to_dict())
+    status = wait_terminal(manager, job["job_id"])
+    assert status["state"] == "done"
+    artifact = manager.artifact(job["job_id"])
+    assert artifact["spec"] == spec.to_dict()
+    assert artifact["code_fingerprint"] == code_fingerprint()
+    assert len(artifact["cells"]) == 1
+    assert artifact["cells"][0]["error"] is None
+
+
+def test_search_job_reuses_probe_cache_across_jobs():
+    manager = JobManager(
+        workers=1,
+        executor_overrides={"search": oracle_search_executor(breaks_above=0.5)},
+    )
+    try:
+        spec = tiny_search()
+        first = manager.submit("search", spec.to_dict())
+        status = wait_terminal(manager, first["job_id"])
+        assert status["state"] == "done", status["error"]
+        assert status["progress"]["executed_cells"] > 0
+        artifact = manager.artifact(first["job_id"])
+        assert artifact["result"]["critical"] == pytest.approx(0.5, abs=0.1)
+
+        second = manager.submit("search", spec.to_dict())
+        status = wait_terminal(manager, second["job_id"])
+        assert status["state"] == "done", status["error"]
+        # Every probe of the identical search replays from the cache.
+        assert status["progress"]["cached_cells"] == len(artifact["history"])
+        assert status["progress"]["executed_cells"] == 0
+        again = manager.artifact(second["job_id"])
+        assert stable_document(again) == stable_document(artifact)
+    finally:
+        manager.close()
+
+
+def test_submit_rejects_unknown_kind_and_invalid_spec(manager):
+    with pytest.raises(ConfigurationError, match="unknown job kind"):
+        manager.submit("bake", {"name": "x"})
+    with pytest.raises(ConfigurationError):
+        manager.submit("sweep", {"name": "x", "protocol": "no-such", "ns": [8]})
+    with pytest.raises(ConfigurationError):
+        manager.submit("sweep", "not-a-dict")
+    # Nothing was enqueued by the rejected submissions.
+    assert manager.jobs() == []
+
+
+def test_unknown_job_and_artifact_not_ready(manager):
+    with pytest.raises(UnknownJob):
+        manager.status("nope")
+    with pytest.raises(UnknownJob):
+        manager.artifact("nope")
+    with pytest.raises(UnknownJob):
+        manager.cancel("nope")
+    job = manager.submit("sweep", tiny_sweep().to_dict())
+    wait_terminal(manager, job["job_id"])
+    assert manager.artifact(job["job_id"])["spec"]["name"] == "tiny-serve"
+
+
+def test_cancel_queued_job_is_immediate_and_running_job_stops_at_boundary():
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated(payload):
+        started.set()
+        assert release.wait(timeout=60)
+        return {
+            "cell_id": payload["cell_id"],
+            "n": payload["n"],
+            "params": payload["params"],
+            "seeds": payload["seeds"],
+            "runs": [{"seed": seed, "converged": True} for seed in payload["seeds"]],
+            "stats": {},
+            "error": None,
+            "wall_time_s": 0.0,
+        }
+
+    manager = JobManager(
+        workers=1, max_inflight=1, executor_overrides={"sweep": gated}
+    )
+    try:
+        spec = tiny_sweep()
+        running = manager.submit("sweep", spec.to_dict())
+        assert started.wait(timeout=30)
+        queued = manager.submit("sweep", tiny_sweep(name="tiny-serve-b").to_dict())
+
+        verdict = manager.cancel(queued["job_id"])
+        assert verdict == {
+            "job_id": queued["job_id"],
+            "state": "cancelled",
+            "cancelled": True,
+        }
+        assert manager.status(queued["job_id"])["state"] == "cancelled"
+
+        # Cancel the running job: it stops after the in-flight cell, so the
+        # second cell of its two-cell grid never runs.
+        manager.cancel(running["job_id"])
+        release.set()
+        status = wait_terminal(manager, running["job_id"])
+        assert status["state"] == "cancelled"
+        assert status["progress"]["completed_cells"] <= 1
+        with pytest.raises(JobNotReady):
+            manager.artifact(running["job_id"])
+        # Cancelling a finished job is a no-op.
+        assert manager.cancel(queued["job_id"])["cancelled"] is False
+    finally:
+        release.set()
+        manager.close()
+
+
+def test_fresh_failure_does_not_displace_cached_success():
+    calls = {"count": 0}
+
+    def flaky(payload):
+        calls["count"] += 1
+        record = {
+            "cell_id": payload["cell_id"],
+            "n": payload["n"],
+            "params": payload["params"],
+            "seeds": payload["seeds"],
+            "runs": [{"seed": seed, "converged": True} for seed in payload["seeds"]],
+            "stats": {},
+            "error": None,
+            "wall_time_s": 0.0,
+        }
+        if calls["count"] > 2:
+            record["error"] = "transient crash"
+            record["runs"] = []
+        return record
+
+    manager = JobManager(workers=1, executor_overrides={"sweep": flaky})
+    try:
+        spec = tiny_sweep()
+        first = manager.submit("sweep", spec.to_dict())
+        assert wait_terminal(manager, first["job_id"])["state"] == "done"
+        # Identical resubmission: both cells are cache hits, the flaky
+        # executor is never consulted again, and nothing fails.
+        second = manager.submit("sweep", spec.to_dict())
+        status = wait_terminal(manager, second["job_id"])
+        assert status["state"] == "done"
+        assert status["progress"]["failed_cells"] == []
+        assert calls["count"] == 2
+    finally:
+        manager.close()
+
+
+def test_concurrent_submissions_all_complete(manager):
+    ids = [
+        manager.submit("sweep", tiny_sweep(name=f"tiny-serve-{index}").to_dict())[
+            "job_id"
+        ]
+        for index in range(3)
+    ]
+    assert len(set(ids)) == 3
+    for job_id in ids:
+        assert wait_terminal(manager, job_id)["state"] == "done"
+    listed = [status["job_id"] for status in manager.jobs()]
+    assert listed == ids  # submission order is preserved
+    counts = manager.counts()
+    assert counts["done"] == 3 and counts["failed"] == 0
+
+
+# --------------------------------------------------------------------------
+# HTTP layer
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture
+def http_server():
+    mgr = JobManager(workers=1)
+    server = make_server("127.0.0.1", 0, mgr)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield ReproClient(f"http://{host}:{port}", timeout_s=30.0)
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    mgr.close()
+
+
+def test_http_end_to_end_lifecycle(http_server):
+    client = http_server
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["code_fingerprint"] == code_fingerprint()
+
+    spec = tiny_sweep(name="tiny-http")
+    submitted = client.submit("sweep", spec.to_dict())
+    assert submitted["kind"] == "sweep"
+    status = client.wait(submitted["job_id"], timeout_s=120.0)
+    assert status["state"] == "done"
+    artifact = client.artifact(submitted["job_id"])
+    assert artifact["spec"] == spec.to_dict()
+    assert [job["job_id"] for job in client.jobs()] == [submitted["job_id"]]
+
+    # The one-shot helper resolves entirely from the cache the second time.
+    again = client.run("sweep", spec.to_dict(), timeout_s=120.0)
+    assert stable_document(again) == stable_document(artifact)
+    stats = client.cache_stats()
+    assert stats["hits"] >= len(spec.cells())
+
+
+def test_http_error_codes(http_server):
+    client = http_server
+    with pytest.raises(ServerError) as excinfo:
+        client.submit("bake", {"name": "x"})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServerError) as excinfo:
+        client.submit("sweep", {"name": "x", "protocol": "no-such", "ns": [8]})
+    assert excinfo.value.status == 400 and "no-such" in excinfo.value.message
+    with pytest.raises(ServerError) as excinfo:
+        client.status("missing-job")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServerError) as excinfo:
+        client.artifact("missing-job")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServerError) as excinfo:
+        client.cancel("missing-job")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServerError) as excinfo:
+        client._request("GET", "/no/such/route")
+    assert excinfo.value.status == 404
+
+    # Malformed bodies: not JSON, and JSON that is not an object.
+    for raw in (b"{not json", b"[1, 2]"):
+        request = urllib.request.Request(
+            f"{client.base_url}/jobs",
+            data=raw,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+def test_http_artifact_conflict_while_unfinished():
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated(payload):
+        started.set()
+        assert release.wait(timeout=60)
+        return {
+            "cell_id": payload["cell_id"],
+            "n": payload["n"],
+            "params": payload["params"],
+            "seeds": payload["seeds"],
+            "runs": [{"seed": seed} for seed in payload["seeds"]],
+            "stats": {},
+            "error": None,
+            "wall_time_s": 0.0,
+        }
+
+    mgr = JobManager(workers=1, executor_overrides={"sweep": gated})
+    server = make_server("127.0.0.1", 0, mgr)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ReproClient(f"http://{host}:{port}")
+    try:
+        job = client.submit("sweep", tiny_sweep(name="tiny-409").to_dict())
+        assert started.wait(timeout=30)
+        with pytest.raises(ServerError) as excinfo:
+            client.artifact(job["job_id"])
+        assert excinfo.value.status == 409
+        cancelled = client.cancel(job["job_id"])
+        assert cancelled["cancelled"] is True
+        release.set()
+        status = client.wait(job["job_id"], timeout_s=60.0)
+        assert status["state"] == "cancelled"
+        with pytest.raises(ServerError) as excinfo:
+            client.artifact(job["job_id"])
+        assert excinfo.value.status == 409  # cancelled jobs have no artifact
+    finally:
+        release.set()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        mgr.close()

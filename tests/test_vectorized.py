@@ -655,7 +655,7 @@ def test_spec_layers_carry_and_validate_the_accel_knob():
 
 
 def test_sweep_payload_threads_the_accel_knob_to_workers():
-    from repro.experiments.runner import _cell_payload, execute_cell
+    from repro.experiments.runner import cell_payload, execute_cell
     from repro.experiments.spec import SweepSpec
 
     spec = SweepSpec(
@@ -667,7 +667,7 @@ def test_sweep_payload_threads_the_accel_knob_to_workers():
         accel="python",
         max_checks=10,
     )
-    payload = _cell_payload(spec, spec.cells()[0])
+    payload = cell_payload(spec, spec.cells()[0])
     assert payload["accel"] == "python"
     record = execute_cell(payload)
     assert record["error"] is None

@@ -36,8 +36,10 @@ setup(
         "(pluggable scan/alias/Fenwick/vector weighted samplers, optional "
         "NumPy-vectorised batch kernels with a pure-Python fallback), a "
         "parallel experiment-sweep subsystem, a dynamic-population "
-        "chaos-scenario subsystem with adversarial frontier search, and an "
-        "HTTP job server with a content-addressed result cache"
+        "chaos-scenario subsystem with adversarial frontier search, an "
+        "HTTP job server with a content-addressed result cache, and "
+        "end-to-end telemetry (run tracing, Prometheus-style /metrics, "
+        "live job event streams)"
     ),
     package_dir={"": "src"},
     packages=find_namespace_packages(where="src"),

@@ -35,6 +35,7 @@ import time
 from typing import List, Optional
 
 from ..engine.errors import ReproError
+from ..obs.profile import render_profile
 from .runner import (
     BUDGET_FAIL_FACTOR,
     check_smoke_budgets,
@@ -123,6 +124,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the per-phase time breakdown aggregated from the runs' "
+            "telemetry (default grid only; embedded in the report as 'profile')"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-case progress output"
     )
     args = parser.parse_args(argv)
@@ -152,6 +161,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = run_benchmark(smoke=args.smoke, base_seed=args.seed, progress=progress)
     elapsed = time.perf_counter() - started
     write_report(report, output)
+
+    if args.profile:
+        profile = report.get("profile")
+        if profile:
+            print(render_profile(profile, title="bench"))
+        else:
+            print("(no run telemetry in this grid; --profile applies to the default grid)")
 
     if args.samplers:
         headline = report["headline"]

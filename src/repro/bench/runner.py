@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from ..engine.convergence import OutputPredicate, all_outputs_equal, outputs_in
 from ..engine.protocol import Protocol
 from ..engine.simulator import simulate
+from ..obs.profile import aggregate_telemetry
 from ..primitives.epidemic import OneWayEpidemic
 from ..primitives.junta import JuntaProtocol
 from ..primitives.load_balancing import EMPTY, PowersOfTwoLoadBalancing
@@ -181,8 +182,17 @@ def smoke_cases() -> List[BenchCase]:
     return cases
 
 
-def run_case(case: BenchCase, base_seed: int = 0) -> BenchEntry:
-    """Run one case and return its averaged entry."""
+def run_case(
+    case: BenchCase,
+    base_seed: int = 0,
+    telemetry_sink: Optional[List[Dict[str, Any]]] = None,
+) -> BenchEntry:
+    """Run one case and return its averaged entry.
+
+    When ``telemetry_sink`` is given, every repetition's
+    ``extra["telemetry"]`` dict is appended to it — the raw material the
+    report's aggregated ``profile`` is folded from.
+    """
     interactions = 0.0
     transition_calls = 0.0
     wall = 0.0
@@ -203,6 +213,10 @@ def run_case(case: BenchCase, base_seed: int = 0) -> BenchEntry:
         wall += time.perf_counter() - started
         interactions += result.interactions
         transition_calls += result.extra["transition_calls"]
+        if telemetry_sink is not None and isinstance(
+            result.extra.get("telemetry"), dict
+        ):
+            telemetry_sink.append(result.extra["telemetry"])
         converged = converged and (result.converged or result.stopped_reason == "terminal")
         stopped_reason = result.stopped_reason
     repetitions = case.repetitions
@@ -264,10 +278,11 @@ def run_benchmark(
     if cases is None:
         cases = smoke_cases() if smoke else default_cases()
     entries: List[BenchEntry] = []
+    telemetry: List[Dict[str, Any]] = []
     for case in cases:
         if progress:
             progress(f"{case.protocol_name} backend={case.backend} n={case.n} ...")
-        entry = run_case(case, base_seed=base_seed)
+        entry = run_case(case, base_seed=base_seed, telemetry_sink=telemetry)
         entries.append(entry)
         if progress:
             progress(
@@ -298,6 +313,7 @@ def run_benchmark(
         ),
         "entries": [asdict(entry) for entry in entries],
         "comparisons": comparisons,
+        "profile": aggregate_telemetry(telemetry),
     }
     return report
 

@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple
 
 import abc
 import random
 
+from ..obs.trace import RunTracer
 from .errors import ConfigurationError, SimulationError
 from .metrics import AggregateInteractionCounter, InteractionCounter, StateSpaceTracker
 from .protocol import Protocol
@@ -152,6 +154,11 @@ class Backend(abc.ABC):
         #: (no ordered pair of present keys can change it).
         self.terminal: bool = False
         self.state_space = StateSpaceTracker()
+        #: Per-run phase timers and runtime event log; folded into
+        #: ``SimulationResult.extra["telemetry"]`` by the simulator.
+        #: Tracing reads ``perf_counter`` only — never an RNG stream — so
+        #: instrumented runs stay stream-identical.
+        self.tracer = RunTracer()
 
     # -------------------------------------------------------------- stepping
     @abc.abstractmethod
@@ -290,14 +297,19 @@ class AgentBackend(Backend):
     def step(self) -> Tuple[int, int]:
         """Execute one interaction; return the (initiator, responder) pair."""
         simulator = self.simulator
+        tracer = self.tracer
+        tic = perf_counter()
         initiator, responder = self.scheduler.next_pair(
             self.n, self._scheduler_rng, self.interactions
         )
+        tracer.add("sampling", perf_counter() - tic)
         for hook in simulator.hooks:
             hook.before_interaction(simulator, initiator, responder)
+        tic = perf_counter()
         self.protocol.transition(
             self.states[initiator], self.states[responder], self._agent_rng
         )
+        tracer.add("transition", perf_counter() - tic)
         self.interactions += 1
         self.transition_calls += 1
         self.counter.record(initiator, responder)
@@ -554,6 +566,9 @@ class BatchBackend(Backend):
         self._accel_pending = False
         #: Stats snapshots of samplers retired by the ``auto`` switch.
         self._retired_samplers: List[Dict[str, Any]] = []
+        #: Configuration-changing events actually applied; the complement
+        #: of ``interactions`` measures the geometric-skip efficiency.
+        self.applied_events: int = 0
         # Pruning regime: sampler over active pair types.  Dense regime:
         # sampler over the key histogram.  Only the active regime's sampler
         # is materialised.
@@ -729,6 +744,28 @@ class BatchBackend(Backend):
             self._apply_event()
         self.counter.total = self.interactions
 
+    def _retire_sampler(
+        self, stats: Dict[str, Any], regime: str, retired_by: str
+    ) -> None:
+        """Snapshot a sampler/kernel being replaced mid-run.
+
+        Every retirement — thrash swap, accel engagement, accel fallback —
+        funnels through here, so no replacement path can drop the counters
+        that triggered it (the bug when ``auto`` swapped twice in one run),
+        and each snapshot is stamped with why and when it was retired.
+        """
+        stats["regime"] = regime
+        stats["retired_by"] = retired_by
+        stats["retired_at"] = self.interactions
+        self._retired_samplers.append(stats)
+        self.tracer.note_event(
+            "sampler-retired",
+            at=self.interactions,
+            strategy=stats.get("strategy", stats.get("kernel")),
+            regime=regime,
+            reason=retired_by,
+        )
+
     def _maybe_switch_on_thrash(
         self, sampler: WeightedSampler, weights: Dict[Any, int], regime: str
     ) -> WeightedSampler:
@@ -745,9 +782,13 @@ class BatchBackend(Backend):
             and isinstance(sampler, AliasSampler)
             and sampler.thrashing
         ):
-            retired = sampler.stats()
-            retired["regime"] = regime
-            self._retired_samplers.append(retired)
+            self._retire_sampler(sampler.stats(), regime, "thrash")
+            self.tracer.note_event(
+                "sampler-swap",
+                at=self.interactions,
+                regime=regime,
+                **{"from": "alias", "to": "fenwick"},
+            )
             sampler = FenwickSampler(weights)
             if regime == "pruning":
                 self._pair_sampler = sampler
@@ -837,11 +878,18 @@ class BatchBackend(Backend):
         pair is active, so the applied transition may turn out to be a no-op
         either way.
         """
+        tracer = self.tracer
+        tic = perf_counter()
         if self._prunes:
             key_a, key_b = self._sample_pair_type()
         else:
             key_a, key_b = self._sample_dense_pair()
+        toc = perf_counter()
+        tracer.add("sampling", toc - tic)
         new_a, new_b, changed = self._apply_transition(key_a, key_b)
+        tic = perf_counter()
+        tracer.add("transition", tic - toc)
+        self.applied_events += 1
         if changed:
             if self._prunes:
                 self._update_pair_weights(changed)
@@ -851,6 +899,7 @@ class BatchBackend(Backend):
                 for key in changed:
                     sampler.update(key, counts.get(key, 0))
                 self._check_dense_fixed_point()
+            tracer.add("pair_weights", perf_counter() - tic)
         simulator = self.simulator
         if simulator.hooks:
             for hook in simulator.hooks:
@@ -870,6 +919,7 @@ class BatchBackend(Backend):
         self._accel_fallback = reason
         self._accel_pending = False
         self.accel_active = "python"
+        self.tracer.note_event("accel-fallback", at=self.interactions, reason=reason)
 
     def _engage_pair_kernel(self) -> None:
         """Swap the thrashing Python pair structures for the NumPy kernel.
@@ -889,10 +939,10 @@ class BatchBackend(Backend):
             self._note_fallback(str(error))
             return
         if self._pair_sampler is not None:
-            retired = self._pair_sampler.stats()
-            retired["regime"] = "pruning"
-            retired["retired_by"] = "accel-engage"
-            self._retired_samplers.append(retired)
+            self._retire_sampler(self._pair_sampler.stats(), "pruning", "accel-engage")
+        self.tracer.note_event(
+            "accel-engage", at=self.interactions, kernel="factorised-pair"
+        )
         self._pair_kernel = kernel
         self._pair_sampler = None
         self._pair_weights = {}
@@ -912,16 +962,23 @@ class BatchBackend(Backend):
         """
         retired_kernel = self._pair_kernel or self._dense_kernel
         if retired_kernel is not None:
-            retired = retired_kernel.stats()
-            retired["regime"] = "pruning" if self._prunes else "dense"
-            retired["retired_by"] = "accel-fallback"
-            self._retired_samplers.append(retired)
+            self._retire_sampler(
+                retired_kernel.stats(),
+                "pruning" if self._prunes else "dense",
+                "accel-fallback",
+            )
         self._pair_kernel = None
         self._dense_kernel = None
         self._note_fallback(reason)
         if self._prunes:
             self._rebuild_pair_weights()
         else:
+            # A live histogram sampler would be silently replaced here —
+            # retire its counters first so no swap chain can drop them.
+            if self._count_sampler is not None:
+                self._retire_sampler(
+                    self._count_sampler.stats(), "dense", "accel-fallback"
+                )
             self._count_sampler = make_sampler(self.sampler_mode, self.counts)
 
     def _advance_pruning_numpy(self, target: int) -> None:
@@ -929,12 +986,14 @@ class BatchBackend(Backend):
         kernel = self._pair_kernel
         simulator = self.simulator
         counts = self.counts
+        tracer = self.tracer
         while self.interactions < target and not self.terminal:
             weight = kernel.active_weight()
             if weight <= 0:
                 self.terminal = True
                 break
             ordered_pairs = self.n * (self.n - 1)
+            tic = perf_counter()
             skip = (
                 0 if weight >= ordered_pairs else kernel.next_skip(ordered_pairs)
             )
@@ -943,11 +1002,17 @@ class BatchBackend(Backend):
                 # The whole window is configuration-preserving; the
                 # pending active event is re-sampled next call
                 # (memorylessness).
+                tracer.add("sampling", perf_counter() - tic, ops=0)
                 self.interactions = target
                 break
             self.interactions += skip + 1
             key_a, key_b = kernel.next_pair()
+            toc = perf_counter()
+            tracer.add("sampling", toc - tic)
             new_a, new_b, changed = self._apply_transition(key_a, key_b)
+            tic = perf_counter()
+            tracer.add("transition", tic - toc)
+            self.applied_events += 1
             overflow: Optional[AccelCapacityError] = None
             if changed:
                 try:
@@ -958,6 +1023,7 @@ class BatchBackend(Backend):
                     # the overflow but fire this event's hooks first so
                     # hook-based trackers never undercount.
                     overflow = error
+                tracer.add("pair_weights", perf_counter() - tic)
             if simulator.hooks:
                 for hook in simulator.hooks:
                     hook.on_batch_event(simulator, key_a, key_b, new_a, new_b)
@@ -989,17 +1055,25 @@ class BatchBackend(Backend):
                 self.counter.total = self.interactions
                 self.advance_to(target)
                 return
+            tracer = self.tracer
+            tic = perf_counter()
             if len(counts) == 1:
                 key = next(iter(counts))
                 key_a = key_b = key
             else:
                 key_a, key_b = kernel.next_pair()
+            toc = perf_counter()
+            tracer.add("sampling", toc - tic)
             self.interactions += 1
             new_a, new_b, changed = self._apply_transition(key_a, key_b)
+            tic = perf_counter()
+            tracer.add("transition", tic - toc)
+            self.applied_events += 1
             if changed:
                 for key in changed:
                     kernel.set_count(key, counts.get(key, 0))
                 self._check_dense_fixed_point()
+                tracer.add("pair_weights", perf_counter() - tic)
             if simulator.hooks:
                 for hook in simulator.hooks:
                     hook.on_batch_event(simulator, key_a, key_b, new_a, new_b)

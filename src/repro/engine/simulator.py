@@ -510,6 +510,7 @@ class Simulator:
 
         def evaluate_checkpoint() -> bool:
             nonlocal last_checked
+            checkpoint_started = time.perf_counter()
             for hook in self.hooks:
                 hook.before_checkpoint(self)
             satisfied = predicate(backend.convergence_view())
@@ -517,6 +518,9 @@ class Simulator:
             last_checked = backend.interactions
             for hook in self.hooks:
                 hook.on_checkpoint(self, satisfied)
+            backend.tracer.add(
+                "checkpoint", time.perf_counter() - checkpoint_started
+            )
             return satisfied
 
         def close_segment() -> None:
@@ -650,9 +654,37 @@ class Simulator:
             "satisfied_checks": satisfied_before + tracker.satisfied_checks,
             "participation_tracked": isinstance(backend, AgentBackend),
         }
+        # Unified per-run trace: phase timers, runtime events, checkpoint
+        # cadence, and (batch) geometric-skip efficiency plus the sampler
+        # and accel records that previously lived as top-level blobs.
+        telemetry: Dict[str, Any] = backend.tracer.as_dict()
+        telemetry["backend"] = backend.name
+        telemetry["checkpoints"] = {
+            "count": checks_before + tracker.checks,
+            "satisfied": satisfied_before + tracker.satisfied_checks,
+            "cadence": cadence,
+        }
         if isinstance(backend, BatchBackend):
-            extra["sampler"] = backend.sampler_stats()
-            extra["accel"] = backend.accel_info()
+            applied = backend.applied_events
+            skipped = max(0, backend.interactions - applied)
+            telemetry["skips"] = {
+                "interactions": backend.interactions,
+                "applied_events": applied,
+                "skipped_interactions": skipped,
+                "efficiency": (
+                    round(skipped / backend.interactions, 6)
+                    if backend.interactions
+                    else 0.0
+                ),
+            }
+            telemetry["sampler"] = backend.sampler_stats()
+            telemetry["accel"] = backend.accel_info()
+        extra["telemetry"] = telemetry
+        if isinstance(backend, BatchBackend):
+            # Deprecated aliases of telemetry["sampler"] / telemetry["accel"]
+            # (the same objects), kept for pre-telemetry consumers.
+            extra["sampler"] = telemetry["sampler"]
+            extra["accel"] = telemetry["accel"]
         if events:
             extra["initial_n"] = self.initial_n
             extra["timeline"] = timeline_records

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Set
 from ..bench.runner import write_report
 from ..engine.errors import ExperimentError
 from ..fingerprint import code_fingerprint, spec_sha256
+from ..obs.profile import profile_from_cells
 from ..resume import completed_cell_ids as _completed_cell_ids
 from ..resume import merge_cells as _merge_cells
 from .aggregate import sweep_fits
@@ -63,6 +64,7 @@ def build_document(
         "spec_sha256": spec_sha256(spec_dict),
         "spec": spec_dict,
         "fits": sweep_fits([cell for cell in cells if not cell.get("error")]),
+        "telemetry": profile_from_cells(cells),
         "failed_cells": failed,
         "cells": cells,
     }

@@ -99,6 +99,22 @@ def builtin_specs() -> Dict[str, SweepSpec]:
             max_checks=200,
             description="Bounded CI grid exercising the sweep subsystem end to end.",
         ),
+        SweepSpec(
+            name="backup-profile",
+            protocol="backup-exact",
+            ns=[64, 128],
+            seeds_per_cell=2,
+            backend="batch",
+            budget=BudgetPolicy(factor=16.0, n_exponent=2.0, log_exponent=0.0),
+            max_checks=200,
+            description=(
+                "Telemetry showcase for --profile: the exact-counting "
+                "protocol's churning pair table splits wall time across "
+                "sampling, transition application, and pair-weight "
+                "maintenance; the aggregated PROFILE artifact breaks those "
+                "phases down."
+            ),
+        ),
     ]
     return {spec.name: spec for spec in specs}
 

@@ -24,6 +24,7 @@ import time
 from typing import List, Optional
 
 from ..engine.errors import ReproError
+from ..obs.profile import render_profile, write_profile
 from .artifacts import (
     build_document,
     completed_cell_ids,
@@ -140,6 +141,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the per-phase time breakdown aggregated from run "
+            "telemetry and write PROFILE_<name>.json"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
     )
     args = parser.parse_args(argv)
@@ -201,6 +210,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {written}")
         else:
             print("(matplotlib not available; skipped the PNG plot)")
+    if args.profile:
+        print(render_profile(document["telemetry"], title=spec.name))
+        print(f"wrote {write_profile(document['telemetry'], args.output_dir, spec.name)}")
     failed = document["failed_cells"]
     print(
         f"wrote {paths['json']} and {paths['csv']} "

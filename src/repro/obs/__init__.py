@@ -1,0 +1,40 @@
+"""Observability: run tracing, metrics, and profile aggregation.
+
+Stdlib-only.  Three layers, one per module:
+
+* :mod:`repro.obs.trace` — :class:`~repro.obs.trace.RunTracer`, the
+  per-run phase-timing and event log every backend carries; surfaced as
+  ``SimulationResult.extra["telemetry"]``.
+* :mod:`repro.obs.metrics` — process-level counters / gauges /
+  histograms with a Prometheus text-exposition renderer, served by
+  ``repro-serve`` at ``GET /metrics``.
+* :mod:`repro.obs.profile` — aggregation of per-run telemetry into the
+  per-phase breakdown behind the ``--profile`` flag and the
+  ``PROFILE_<name>.json`` artifacts.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, parse_exposition
+from .profile import (
+    aggregate_telemetry,
+    merge_profiles,
+    profile_from_cells,
+    profile_json_path,
+    render_profile,
+    write_profile,
+)
+from .trace import RunTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTracer",
+    "aggregate_telemetry",
+    "merge_profiles",
+    "parse_exposition",
+    "profile_from_cells",
+    "profile_json_path",
+    "render_profile",
+    "write_profile",
+]

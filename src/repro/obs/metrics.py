@@ -1,0 +1,395 @@
+"""Process-level metrics with Prometheus text exposition (stdlib only).
+
+A :class:`MetricsRegistry` owns a set of named metric families —
+:class:`Counter`, :class:`Gauge`, :class:`Histogram` — each optionally
+split by a fixed tuple of label names, and renders them all in the
+Prometheus text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE``
+comment pairs followed by one sample line per label combination, with
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.
+
+Values that must reflect some other component's live state (the result
+cache's hit/miss counters, job counts per state) are refreshed through
+*collectors*: callbacks registered with
+:meth:`MetricsRegistry.add_collector` that run at the top of every
+:meth:`MetricsRegistry.render`, so a ``/metrics`` scrape and the JSON
+endpoint it mirrors can never disagree.
+
+:func:`parse_exposition` is the strict inverse used by the tests and the
+server smoke: it parses every line or raises, which is what makes
+"``/metrics`` output is well-formed" an executable assertion.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_value",
+    "parse_exposition",
+]
+
+#: One immutable key per label combination: ``(("kind", "sweep"), ...)``.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, tuned for job/cell wall-clock latencies
+#: (5 ms .. 5 min); the implicit ``+Inf`` bucket is always appended.
+DEFAULT_BUCKETS = (
+    0.005,
+    0.025,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a decimal point."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Metric:
+    """Base metric family: a name, help text, and per-label-set children."""
+
+    type_name = ""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+        lock: threading.RLock,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+
+    def _key(self, labels: Dict[str, Any]) -> LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple((name, str(labels[name])) for name in self.labelnames)
+
+    def samples(self) -> Iterable[Tuple[str, LabelKey, float]]:
+        """Yield ``(name_suffix, label_key, value)`` triples."""
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.type_name}",
+        ]
+        for suffix, key, value in sorted(self.samples(), key=lambda s: (s[0], s[1])):
+            if key:
+                labels = ",".join(
+                    f'{name}="{_escape_label_value(value_)}"' for name, value_ in key
+                )
+                lines.append(f"{self.name}{suffix}{{{labels}}} {_format_value(value)}")
+            else:
+                lines.append(f"{self.name}{suffix} {_format_value(value)}")
+        return lines
+
+
+class Counter(_Metric):
+    """A monotonically increasing value (per label combination)."""
+
+    type_name = "counter"
+
+    def __init__(self, *args: Any) -> None:
+        super().__init__(*args)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, value: float, **labels: Any) -> None:
+        """Overwrite the running total — for collectors mirroring an
+        external monotonic source (e.g. the result cache's own counters)."""
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterable[Tuple[str, LabelKey, float]]:
+        with self._lock:
+            return [("", key, value) for key, value in self._values.items()]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (per label combination)."""
+
+    type_name = "gauge"
+
+    def __init__(self, *args: Any) -> None:
+        super().__init__(*args)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterable[Tuple[str, LabelKey, float]]:
+        with self._lock:
+            return [("", key, value) for key, value in self._values.items()]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram of observed values."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+        lock: threading.RLock,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+        # Per label set: [per-bucket counts..., +Inf count], sum.
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] += float(value)
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            counts = self._counts.get(self._key(labels))
+            return sum(counts) if counts else 0
+
+    def samples(self) -> Iterable[Tuple[str, LabelKey, float]]:
+        with self._lock:
+            out: List[Tuple[str, LabelKey, float]] = []
+            for key, counts in self._counts.items():
+                cumulative = 0
+                for bound, count in zip(self.buckets, counts):
+                    cumulative += count
+                    bucket_key = key + (("le", _format_value(bound)),)
+                    out.append(("_bucket", bucket_key, float(cumulative)))
+                cumulative += counts[-1]
+                out.append(("_bucket", key + (("le", "+Inf"),), float(cumulative)))
+                out.append(("_sum", key, self._sums[key]))
+                out.append(("_count", key, float(cumulative)))
+            return out
+
+
+class MetricsRegistry:
+    """A named, ordered set of metric families plus render-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name} already registered with a "
+                        f"different type"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help_text, labelnames, self._lock))  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames, self._lock))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help_text, labelnames, self._lock, buckets)  # type: ignore[return-value]
+        )
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run at the top of every :meth:`render`."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        for collector in list(self._collectors):
+            collector()
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
+
+
+def _unescape_label_value(text: str) -> str:
+    return (
+        text.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\x00", "\\")
+    )
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[LabelKey, float]]:
+    """Strictly parse Prometheus text exposition; raise on any bad line.
+
+    Returns ``{sample_name: {label_key: value}}`` where histogram series
+    appear under their expanded ``_bucket`` / ``_sum`` / ``_count`` names.
+    Every sample must be preceded by a ``# TYPE`` declaration covering it,
+    which is what makes this a format check and not just a scrape.
+    """
+    declared: Dict[str, str] = {}
+    samples: Dict[str, Dict[LabelKey, float]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if _HELP_RE.match(line):
+                continue
+            match = _TYPE_RE.match(line)
+            if match:
+                declared[match.group(1)] = match.group(2)
+                continue
+            raise ValueError(f"line {number}: malformed comment: {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: malformed sample: {line!r}")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and declared.get(trimmed) == "histogram":
+                base = trimmed
+                break
+        if base not in declared:
+            raise ValueError(f"line {number}: sample {name!r} has no # TYPE")
+        raw_labels = match.group("labels")
+        key: LabelKey = ()
+        if raw_labels:
+            pairs = _LABEL_PAIR_RE.findall(raw_labels)
+            reassembled = ",".join(f'{n}="{v}"' for n, v in pairs)
+            if reassembled != raw_labels:
+                raise ValueError(f"line {number}: malformed labels: {raw_labels!r}")
+            key = tuple((n, _unescape_label_value(v)) for n, v in pairs)
+        try:
+            if match.group("value") == "+Inf":
+                value = float("inf")
+            else:
+                value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {number}: malformed value: {match.group('value')!r}"
+            ) from None
+        samples.setdefault(name, {})[key] = value
+    return samples
+
+
+def counter_value(
+    samples: Dict[str, Dict[LabelKey, float]],
+    name: str,
+    **labels: Any,
+) -> Optional[float]:
+    """Convenience lookup of one parsed sample (``None`` when absent)."""
+    family = samples.get(name)
+    if family is None:
+        return None
+    key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    for sample_key, value in family.items():
+        if tuple(sorted(sample_key)) == key:
+            return value
+    return None

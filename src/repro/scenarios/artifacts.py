@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 from ..bench.runner import write_report
 from ..engine.errors import ExperimentError
 from ..fingerprint import code_fingerprint, spec_sha256
+from ..obs.profile import merge_profiles, profile_from_cells
 from ..resume import completed_cell_ids as _completed_cell_ids
 from ..resume import merge_cells as _merge_cells
 from .metrics import scenario_fits
@@ -93,6 +94,7 @@ def build_document(
         "spec_sha256": spec_sha256(spec_dict),
         "spec": spec_dict,
         "fits": scenario_fits([cell for cell in cells if not cell.get("error")]),
+        "telemetry": profile_from_cells(cells),
         "failed_cells": failed,
         "cells": cells,
     }
@@ -155,6 +157,9 @@ def build_frontier_document(
         "spec_sha256": spec_sha256(spec_dict),
         "spec": spec_dict,
         "result": result,
+        "telemetry": merge_profiles(
+            entry.get("telemetry") or {} for entry in history
+        ),
         "history": history,
     }
 

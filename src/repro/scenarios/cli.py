@@ -32,6 +32,7 @@ import time
 from typing import List, Optional
 
 from ..engine.errors import ExperimentError, ReproError
+from ..obs.profile import render_profile, write_profile
 from .artifacts import (
     build_document,
     build_frontier_document,
@@ -170,6 +171,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the per-phase time breakdown aggregated from run "
+            "telemetry and write PROFILE_<name>.json"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
     )
     args = parser.parse_args(argv)
@@ -225,6 +234,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"n^{fit['exponent']:.3f} (r^2 {fit['r_squared']:.4f}, "
                 f"{fit['points']} sizes)"
             )
+    if args.profile:
+        print(render_profile(document["telemetry"], title=spec.name))
+        print(
+            f"wrote {write_profile(document['telemetry'], args.output_dir, spec.name)}"
+        )
     print(
         f"wrote {paths['json']} ({len(cells)} cells, {len(fresh)} run now, "
         f"{len(skip)} resumed, {elapsed:.1f}s)"
@@ -346,6 +360,14 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         "--seed", type=int, default=None, help="override the spec's root seed"
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the per-phase time breakdown aggregated over all probes "
+            "and write PROFILE_<name>.json"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-probe progress output"
     )
     args = parser.parse_args(argv)
@@ -389,6 +411,11 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     elapsed = time.perf_counter() - started
 
     print(_summarise_result(spec, result))
+    if args.profile:
+        print(render_profile(document["telemetry"], title=spec.name))
+        print(
+            f"wrote {write_profile(document['telemetry'], args.output_dir, spec.name)}"
+        )
     print(
         f"wrote {paths['json']} ({len(runner.history)} probes, {elapsed:.1f}s)"
     )

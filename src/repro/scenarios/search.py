@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..engine.errors import ConfigurationError, ExperimentError
 from ..engine.rng import SeedLike, derive_seed, make_rng
 from ..experiments.runner import PoolExecutor, Progress
+from ..obs.profile import profile_from_cells
 from .metrics import resolve_invariant
 from .runner import execute_scenario_cell, scenario_cell_payload
 from .spec import ScenarioSpec
@@ -576,6 +577,9 @@ class FrontierRunner:
             "broken_runs": broken,
             "survives": survives,
             "runs": [_trim_run(self.spec.guarantee, run) for run in runs],
+            # The full run records are trimmed out of the history, so the
+            # probe keeps its telemetry pre-aggregated into one profile.
+            "telemetry": profile_from_cells([record]),
             "wall_time_s": round(time.perf_counter() - started, 3),
         }
         self._cache[key] = entry

@@ -9,11 +9,16 @@ Routes:
 
 ============================  =============================================
 ``GET /healthz``              liveness, version, fingerprint, job counts
+``GET /metrics``              Prometheus text exposition (jobs, cells,
+                              cache, pool; see ``JobManager.metrics``)
 ``GET /cache/stats``          result-cache hit/miss accounting
 ``POST /jobs``                submit ``{"kind": ..., "spec": {...}}`` → 201
 ``GET /jobs``                 every job's status, submission order
 ``GET /jobs/<id>``            one job's status + per-cell progress
 ``GET /jobs/<id>/artifact``   the finished document (409 until done)
+``GET /jobs/<id>/events``     live server-sent-event stream of the job's
+                              lifecycle (replayable; ``Last-Event-ID``
+                              resumes; closes after the ``end`` event)
 ``DELETE /jobs/<id>``         cancel (immediate if queued)
 ============================  =============================================
 
@@ -37,6 +42,10 @@ __all__ = ["ReproServer", "ReproRequestHandler", "make_server"]
 #: Upper bound on request bodies; a spec is a few KB, so anything near this
 #: is garbage (and an unbounded read would let one request exhaust memory).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: How long one SSE wait blocks before emitting a keepalive comment; also
+#: bounds how quickly a streaming thread notices the client went away.
+SSE_KEEPALIVE_S = 10.0
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -122,6 +131,8 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                         "jobs": manager.counts(),
                     },
                 )
+            elif route == ("metrics",):
+                self._send_metrics()
             elif route == ("cache", "stats"):
                 self._send_json(200, manager.cache.stats())
             elif route == ("jobs",):
@@ -130,12 +141,71 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, manager.status(route[1]))
             elif len(route) == 3 and route[:1] == ("jobs",) and route[2] == "artifact":
                 self._send_json(200, manager.artifact(route[1]))
+            elif len(route) == 3 and route[:1] == ("jobs",) and route[2] == "events":
+                self._stream_events(route[1])
             else:
                 self._error(404, f"no such route: GET {self.path}")
         except UnknownJob as error:
             self._error(404, f"no such job: {error.args[0]}")
         except JobNotReady as error:
             self._error(409, str(error))
+
+    def _send_metrics(self) -> None:
+        body = self._manager.render_metrics().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _stream_events(self, job_id: str) -> None:
+        """``GET /jobs/<id>/events``: server-sent events until ``end``.
+
+        The job's event log is append-only and replayable, so a fresh
+        stream starts from the beginning (or from ``Last-Event-ID`` on
+        reconnect) and then follows live.  Keepalive comments flow while
+        the job is quiet; the response has no ``Content-Length``, so the
+        connection closes with the stream (``Connection: close``).
+        """
+        manager = self._manager
+        last = -1
+        raw = self.headers.get("Last-Event-ID")
+        if raw is not None:
+            try:
+                last = int(raw)
+            except ValueError:
+                last = -1
+        manager.status(job_id)  # raises UnknownJob → 404 before headers
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            while True:
+                events, ended = manager.events_after(
+                    job_id, last, wait_s=SSE_KEEPALIVE_S
+                )
+                if not events:
+                    if ended:
+                        return
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                for record in events:
+                    frame = (
+                        f"id: {record['seq']}\n"
+                        f"event: {record['event']}\n"
+                        f"data: {json.dumps(record['data'], sort_keys=True)}\n\n"
+                    )
+                    self.wfile.write(frame.encode("utf-8"))
+                    last = record["seq"]
+                self.wfile.flush()
+                if events[-1]["event"] == "end":
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away; nothing to clean up
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         route = self._route()

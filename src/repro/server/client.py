@@ -13,9 +13,9 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
-__all__ = ["ReproClient", "ServerError"]
+__all__ = ["ReproClient", "ServerError", "parse_sse"]
 
 #: Job states that will never change again.
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
@@ -33,6 +33,40 @@ class ServerError(Exception):
         super().__init__(f"HTTP {status}: {message}" if status else message)
         self.status = status
         self.message = message
+
+
+def parse_sse(lines: Iterable[bytes]) -> Iterator[Dict[str, Any]]:
+    """Parse a ``text/event-stream`` byte-line iterable into event dicts.
+
+    Yields ``{"id": str | None, "event": str, "data": parsed JSON}`` per
+    frame (blank-line terminated).  Comment lines (``:`` prefixed
+    keepalives) are skipped; multi-line ``data:`` fields are joined with
+    newlines before JSON decoding, per the SSE specification.
+    """
+    event_id: Optional[str] = None
+    event: Optional[str] = None
+    data_lines: List[str] = []
+    for raw in lines:
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if not line:
+            if data_lines or event is not None or event_id is not None:
+                data = json.loads("\n".join(data_lines)) if data_lines else None
+                yield {"id": event_id, "event": event or "message", "data": data}
+            event_id = None
+            event = None
+            data_lines = []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if field == "id":
+            event_id = value
+        elif field == "event":
+            event = value
+        elif field == "data":
+            data_lines.append(value)
 
 
 class ReproClient:
@@ -79,6 +113,21 @@ class ReproClient:
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        request = urllib.request.Request(
+            f"{self.base_url}/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServerError(
+                error.code, error.read().decode("utf-8", errors="replace")
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServerError(0, f"server unreachable: {error.reason}") from None
+
     def cache_stats(self) -> Dict[str, Any]:
         return self._request("GET", "/cache/stats")
 
@@ -121,6 +170,67 @@ class ReproClient:
                     f"job {job_id!r} still {status['state']} after {timeout_s:g}s",
                 )
             time.sleep(poll_s)
+
+    def watch(
+        self,
+        job_id: str,
+        reconnect: bool = True,
+        max_reconnects: int = 20,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the job's lifecycle events from ``GET /jobs/<id>/events``.
+
+        Yields ``{"id", "event", "data"}`` dicts in sequence order and
+        returns after the terminal ``end`` event.  The job's event log is
+        replayable server-side, so watching a finished job yields its full
+        history.  On a dropped connection (or a server close without
+        ``end``) the stream reconnects with ``Last-Event-ID`` and resumes
+        where it left off; after ``max_reconnects`` consecutive failures a
+        :class:`ServerError` (status 0) is raised.  HTTP errors (e.g. 404
+        for an unknown job) are permanent and raised immediately.
+        """
+        last_id: Optional[str] = None
+        failures = 0
+        while True:
+            headers = {"Accept": "text/event-stream"}
+            if last_id is not None:
+                headers["Last-Event-ID"] = last_id
+            request = urllib.request.Request(
+                f"{self.base_url}/jobs/{job_id}/events", headers=headers
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    for record in parse_sse(response):
+                        if record["id"] is not None:
+                            last_id = record["id"]
+                        failures = 0
+                        yield record
+                        if record["event"] == "end":
+                            return
+            except urllib.error.HTTPError as error:
+                raw = error.read().decode("utf-8", errors="replace")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except json.JSONDecodeError:
+                    message = raw or error.reason
+                raise ServerError(error.code, str(message)) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+                failures += 1
+                if not reconnect or failures > max_reconnects:
+                    raise ServerError(
+                        0, f"event stream for {job_id!r} dropped: {error}"
+                    ) from None
+                time.sleep(min(1.0, 0.05 * failures))
+                continue
+            # Clean close without the terminal event (server restart or
+            # proxy timeout): resume from the last seen sequence number.
+            failures += 1
+            if not reconnect or failures > max_reconnects:
+                raise ServerError(
+                    0, f"event stream for {job_id!r} closed before its end event"
+                )
+            time.sleep(min(1.0, 0.05 * failures))
 
     def run(
         self,

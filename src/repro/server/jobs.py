@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..engine.errors import ConfigurationError
 from ..experiments.artifacts import build_document as _build_sweep_document
+from ..obs.metrics import MetricsRegistry
 from ..experiments.runner import PoolExecutor, cell_payload, execute_cell
 from ..experiments.spec import SweepSpec
 from ..fingerprint import code_fingerprint
@@ -219,6 +220,13 @@ class Job:
         self.cached = 0
         self.executed = 0
         self.runner: Optional[FrontierRunner] = None
+        #: Append-only lifecycle event log for ``GET /jobs/<id>/events``:
+        #: each entry is ``{"seq": i, "event": kind, "data": {...}}`` with
+        #: ``seq == index``, so SSE replay and ``Last-Event-ID`` resume are
+        #: exact.  Guarded by :attr:`events_cond` (never by the manager
+        #: lock), which is also how streaming readers block for news.
+        self.events: List[Dict[str, Any]] = []
+        self.events_cond = threading.Condition()
         if kind == "search":
             self.cells: Dict[str, str] = {}
             self.total_cells: Optional[int] = None
@@ -281,6 +289,67 @@ class JobManager:
         self._queue: "queue.Queue[str]" = queue.Queue()
         self._seq = 0
         self._stop = threading.Event()
+        # ------------------------------------------------ metrics (/metrics)
+        self.metrics = MetricsRegistry()
+        self._jobs_submitted = self.metrics.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted for scheduling, by kind.",
+            labelnames=("kind",),
+        )
+        self._jobs_finished = self.metrics.counter(
+            "repro_jobs_finished_total",
+            "Jobs that reached a terminal state, by kind and state.",
+            labelnames=("kind", "state"),
+        )
+        self._job_seconds = self.metrics.histogram(
+            "repro_job_duration_seconds",
+            "Job wall-clock from dispatch to terminal state.",
+            labelnames=("kind",),
+        )
+        self._cells_finished = self.metrics.counter(
+            "repro_cells_total",
+            "Cell and probe completions, by job kind and outcome "
+            "(cached / executed / failed).",
+            labelnames=("kind", "outcome"),
+        )
+        self._cell_seconds = self.metrics.histogram(
+            "repro_cell_duration_seconds",
+            "Per-cell wall-clock as reported by the worker record.",
+            labelnames=("kind",),
+        )
+        self._events_emitted = self.metrics.counter(
+            "repro_job_events_total",
+            "Lifecycle events appended to job event logs.",
+            labelnames=("kind",),
+        )
+        self._cache_hits = self.metrics.counter(
+            "repro_cache_hits_total", "Result-cache hits (mirrors /cache/stats)."
+        )
+        self._cache_misses = self.metrics.counter(
+            "repro_cache_misses_total", "Result-cache misses (mirrors /cache/stats)."
+        )
+        self._cache_puts = self.metrics.counter(
+            "repro_cache_puts_total", "Result-cache stores (mirrors /cache/stats)."
+        )
+        self._cache_evictions = self.metrics.counter(
+            "repro_cache_evictions_total",
+            "Result-cache evictions (mirrors /cache/stats).",
+        )
+        self._cache_entries = self.metrics.gauge(
+            "repro_cache_entries", "Result-cache entries currently stored."
+        )
+        self._jobs_by_state = self.metrics.gauge(
+            "repro_jobs", "Jobs currently known to the manager, by state.",
+            labelnames=("state",),
+        )
+        self.metrics.gauge(
+            "repro_pool_workers", "Worker processes in the shared pool."
+        ).set(self.workers)
+        self.metrics.gauge(
+            "repro_pool_max_inflight",
+            "Upper bound on cells handed to the pool per batch.",
+        ).set(self.max_inflight)
+        self.metrics.add_collector(self._collect_live_metrics)
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-job-dispatcher", daemon=True
         )
@@ -303,6 +372,81 @@ class JobManager:
     def _report(self, line: str) -> None:
         if self.progress:
             self.progress(line)
+
+    # ------------------------------------------------------------ telemetry
+    def _collect_live_metrics(self) -> None:
+        """Refresh collector-driven series at scrape time.
+
+        The cache counters are copied from :meth:`ResultCache.stats` — the
+        exact numbers ``/cache/stats`` serves — so the two endpoints can
+        never disagree about hits and misses.
+        """
+        stats = self.cache.stats()
+        self._cache_hits.set_total(stats["hits"])
+        self._cache_misses.set_total(stats["misses"])
+        self._cache_puts.set_total(stats["puts"])
+        self._cache_evictions.set_total(stats["evictions"])
+        self._cache_entries.set(stats["entries"])
+        for state, count in self.counts().items():
+            self._jobs_by_state.set(count, state=state)
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition served at ``GET /metrics``."""
+        return self.metrics.render()
+
+    def _emit(self, job: Job, event: str, data: Dict[str, Any]) -> None:
+        """Append one lifecycle event to the job's log and wake streamers."""
+        payload = {"job_id": job.id, **data}
+        with job.events_cond:
+            job.events.append(
+                {"seq": len(job.events), "event": event, "data": payload}
+            )
+            job.events_cond.notify_all()
+        self._events_emitted.inc(kind=job.kind)
+
+    def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        """Move a job to a terminal state (single funnel for all paths).
+
+        Emits the terminal ``job`` event plus the stream-closing ``end``
+        event — every terminal transition goes through here, which is what
+        guarantees SSE consumers always receive exactly one ``end``.
+        """
+        with self._lock:
+            job.state = state
+            if error is not None:
+                job.error = error
+            job.finished_unix = time.time()
+            duration = job.finished_unix - (job.started_unix or job.submitted_unix)
+        self._jobs_finished.inc(kind=job.kind, state=state)
+        self._job_seconds.observe(duration, kind=job.kind)
+        self._emit(job, "job", {"state": state, "error": job.error})
+        self._emit(job, "end", {"state": state, "error": job.error})
+
+    def events_after(
+        self,
+        job_id: str,
+        after: int,
+        wait_s: Optional[float] = None,
+    ) -> "tuple[List[Dict[str, Any]], bool]":
+        """Events with ``seq > after``, and whether the stream has ended.
+
+        Blocks up to ``wait_s`` when nothing new is pending.  ``ended`` is
+        true once the terminal ``end`` event has been appended; a caller
+        resuming past it gets ``([], True)`` immediately instead of waiting
+        forever.
+        """
+        job = self._get(job_id)
+        start = after + 1
+        with job.events_cond:
+            if (
+                wait_s is not None
+                and len(job.events) <= start
+                and not (job.events and job.events[-1]["event"] == "end")
+            ):
+                job.events_cond.wait(wait_s)
+            events = list(job.events[start:])
+            ended = bool(job.events) and job.events[-1]["event"] == "end"
+        return events, ended
 
     # ------------------------------------------------------------ submission
     def submit(self, kind: str, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -327,6 +471,8 @@ class JobManager:
             job = Job(job_id, kind, spec, spec.to_dict())
             self._jobs[job_id] = job
             self._order.append(job_id)
+        self._jobs_submitted.inc(kind=kind)
+        self._emit(job, "job", {"state": "queued", "total_cells": job.total_cells})
         self._queue.put(job_id)
         self._report(f"job {job_id}: queued ({job.total_cells or '?'} cells)")
         return self.status(job_id)
@@ -415,9 +561,7 @@ class JobManager:
                 return {"job_id": job.id, "state": job.state, "cancelled": False}
             job.cancel.set()
             if job.state == "queued":
-                job.state = "cancelled"
-                job.error = "cancelled while queued"
-                job.finished_unix = time.time()
+                self._finish(job, "cancelled", "cancelled while queued")
                 self._report(f"job {job.id}: cancelled while queued")
                 return {"job_id": job.id, "state": job.state, "cancelled": True}
         self._report(f"job {job.id}: cancellation requested")
@@ -438,6 +582,7 @@ class JobManager:
                     continue  # cancelled while waiting in the queue
                 job.state = "running"
                 job.started_unix = time.time()
+            self._emit(job, "job", {"state": "running"})
             self._report(f"job {job.id}: running")
             try:
                 if job.kind == "search":
@@ -445,10 +590,7 @@ class JobManager:
                 else:
                     self._run_grid_job(job)
             except Exception:  # noqa: BLE001 - job must fail, not the server
-                with self._lock:
-                    job.state = "failed"
-                    job.error = traceback.format_exc()
-                    job.finished_unix = time.time()
+                self._finish(job, "failed", traceback.format_exc())
                 self._report(f"job {job.id}: FAILED (internal error)")
 
     def _executor_for(self, kind: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
@@ -459,11 +601,29 @@ class JobManager:
         return job_kind.executor if job_kind.executor else execute_scenario_cell
 
     def _note_cell_result(self, job: Job, record: Dict[str, Any]) -> None:
+        state = "failed" if record.get("error") else "done"
         with self._lock:
             cell_id = record.get("cell_id")
             if cell_id in job.cells:
-                job.cells[cell_id] = "failed" if record.get("error") else "done"
+                job.cells[cell_id] = state
             job.executed += 1
+            completed = job.cached + job.executed
+        self._cells_finished.inc(
+            kind=job.kind, outcome="failed" if state == "failed" else "executed"
+        )
+        wall = record.get("wall_time_s")
+        if isinstance(wall, (int, float)):
+            self._cell_seconds.observe(float(wall), kind=job.kind)
+        self._emit(
+            job,
+            "cell",
+            {
+                "cell_id": cell_id,
+                "state": state,
+                "completed": completed,
+                "total": job.total_cells,
+            },
+        )
 
     def _run_grid_job(self, job: Job) -> None:
         kind = JOB_KINDS[job.kind]
@@ -482,6 +642,18 @@ class JobManager:
                 with self._lock:
                     job.cells[cell.cell_id] = "cached"
                     job.cached += 1
+                    completed = job.cached + job.executed
+                self._cells_finished.inc(kind=job.kind, outcome="cached")
+                self._emit(
+                    job,
+                    "cell",
+                    {
+                        "cell_id": cell.cell_id,
+                        "state": "cached",
+                        "completed": completed,
+                        "total": job.total_cells,
+                    },
+                )
             else:
                 pending.append((cell, payload, key))
         if cached_records:
@@ -512,13 +684,11 @@ class JobManager:
                     self.cache.put(key, record)
 
         if job.cancel.is_set():
-            with self._lock:
-                job.state = "cancelled"
-                job.error = (
-                    f"cancelled after {len(fresh)} of {len(pending)} pending "
-                    f"cells ran"
-                )
-                job.finished_unix = time.time()
+            self._finish(
+                job,
+                "cancelled",
+                f"cancelled after {len(fresh)} of {len(pending)} pending cells ran",
+            )
             self._report(f"job {job.id}: cancelled")
             return
 
@@ -530,8 +700,7 @@ class JobManager:
         document = kind.build_document(spec, merged, self.workers)
         with self._lock:
             job.document = document
-            job.state = "done"
-            job.finished_unix = time.time()
+        self._finish(job, "done")
         failed = document.get("failed_cells") or []
         self._report(
             f"job {job.id}: done ({len(merged)} cells, {job.cached} cached, "
@@ -558,17 +727,15 @@ class JobManager:
         try:
             result = runner.run()
         except Exception as error:  # noqa: BLE001 - abort and probe failures
-            with self._lock:
-                job.state = "cancelled" if job.cancel.is_set() else "failed"
-                job.error = str(error)
-                job.finished_unix = time.time()
+            self._finish(
+                job, "cancelled" if job.cancel.is_set() else "failed", str(error)
+            )
             self._report(f"job {job.id}: {job.state} ({job.error})")
             return
         document = build_frontier_document(spec, result, runner.history, self.workers)
         with self._lock:
             job.document = document
-            job.state = "done"
-            job.finished_unix = time.time()
+        self._finish(job, "done")
         self._report(
             f"job {job.id}: done ({len(runner.history)} probes, "
             f"{job.cached} cached)"
@@ -580,3 +747,10 @@ class JobManager:
                 job.cached += 1
             else:
                 job.executed += 1
+            completed = job.cached + job.executed
+        self._cells_finished.inc(
+            kind=job.kind, outcome="cached" if cached else "executed"
+        )
+        self._emit(
+            job, "probe", {"cached": cached, "completed": completed}
+        )

@@ -3,9 +3,16 @@
 Boots ``repro-serve`` as a subprocess on an ephemeral port, submits a
 builtin sweep **twice**, and asserts the service contract:
 
-* the first job computes every cell on the workers,
+* the first job computes every cell on the workers, and a live
+  ``/jobs/<id>/events`` stream opened at submission delivers at least one
+  ``cell`` event per grid cell, in strictly increasing sequence order,
+  with the ``end`` event last,
 * the second identical job is served *entirely* from the result cache
   (``executed_cells == 0``, ``/cache/stats`` hits >= grid size),
+* ``/metrics`` parses as Prometheus text exposition, its cache counters
+  equal ``/cache/stats`` exactly, every counter is monotone across the
+  run, and ``repro_jobs_finished_total{kind="sweep",state="done"}`` lands
+  on 2,
 * both served artifacts agree under :func:`~repro.server.cache.stable_document`,
 * and, with ``--compare``, the served artifact equals the document the
   batch CLI wrote for the same spec — cache, server, and CLI are three
@@ -30,6 +37,7 @@ import threading
 from typing import List, Optional
 
 from ..experiments.builtin import resolve_builtin
+from ..obs.metrics import counter_value, parse_exposition
 from .cache import stable_document
 from .client import ReproClient
 
@@ -89,6 +97,15 @@ def _expect(condition: bool, message: str) -> None:
         raise SmokeFailure(message)
 
 
+def _watch_into(client: ReproClient, job_id: str, sink: List[dict], errors: List[str]) -> None:
+    """Drain a live SSE stream into ``sink`` (runs on a watcher thread)."""
+    try:
+        for record in client.watch(job_id):
+            sink.append(record)
+    except Exception as error:  # noqa: BLE001 - surfaced by the main thread
+        errors.append(f"{type(error).__name__}: {error}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.server.smoke",
@@ -129,7 +146,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         health = client.healthz()
         print(f"healthz: version {health['version']}, {health['workers']} worker(s)")
 
+        metrics_before = parse_exposition(client.metrics())
+
         first = client.submit("sweep", spec_dict)
+        # Attach a live event stream while the job runs; the watcher thread
+        # drains SSE frames until the terminal ``end`` event arrives.
+        events: List[dict] = []
+        watch_errors: List[str] = []
+        watcher = threading.Thread(
+            target=_watch_into,
+            args=(client, first["job_id"], events, watch_errors),
+            daemon=True,
+        )
+        watcher.start()
         done_first = client.wait(first["job_id"], timeout_s=args.timeout_s)
         _expect(
             done_first["state"] == "done",
@@ -142,6 +171,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         artifact_first = client.artifact(first["job_id"])
         print(f"job 1 ({first['job_id']}): computed {grid}/{grid} cells")
+
+        watcher.join(timeout=30.0)
+        _expect(not watcher.is_alive(), "event stream never delivered the end event")
+        _expect(not watch_errors, f"event stream failed: {watch_errors}")
+        cell_ids = {
+            record["data"]["cell_id"]
+            for record in events
+            if record["event"] == "cell"
+        }
+        _expect(
+            len(cell_ids) >= grid,
+            f"expected a cell event for each of {grid} cells, saw {sorted(cell_ids)}",
+        )
+        seqs = [int(record["id"]) for record in events if record["id"] is not None]
+        _expect(
+            all(later > earlier for earlier, later in zip(seqs, seqs[1:])),
+            f"event sequence numbers are not strictly increasing: {seqs}",
+        )
+        _expect(
+            events and events[-1]["event"] == "end",
+            f"the stream must close with an end event, got {[e['event'] for e in events]}",
+        )
+        print(
+            f"events: {len(events)} frames, {len(cell_ids)} cell(s), "
+            "ordered, end-terminated"
+        )
 
         second = client.submit("sweep", spec_dict)
         done_second = client.wait(second["job_id"], timeout_s=args.timeout_s)
@@ -165,6 +220,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"cache: {stats['hits']} hits / {stats['misses']} misses "
             f"({stats['entries']} entries)"
+        )
+
+        metrics_after = parse_exposition(client.metrics())
+        for field in ("hits", "misses", "puts", "evictions"):
+            exposed = counter_value(metrics_after, f"repro_cache_{field}_total")
+            _expect(
+                exposed == stats[field],
+                f"/metrics repro_cache_{field}_total={exposed} disagrees with "
+                f"/cache/stats {field}={stats[field]}",
+            )
+        for name, samples in metrics_before.items():
+            if not name.endswith("_total"):
+                continue
+            for labels, value in samples.items():
+                now = metrics_after.get(name, {}).get(labels, 0.0)
+                _expect(
+                    now >= value,
+                    f"counter {name}{dict(labels)} went backwards: {value} -> {now}",
+                )
+        finished = counter_value(
+            metrics_after, "repro_jobs_finished_total", kind="sweep", state="done"
+        )
+        _expect(
+            finished == 2,
+            f'repro_jobs_finished_total{{kind="sweep",state="done"}} should be 2, '
+            f"got {finished}",
+        )
+        print(
+            f"metrics: {len(metrics_after)} families parsed, cache counters match "
+            "/cache/stats, counters monotone"
         )
 
         _expect(

@@ -25,6 +25,7 @@ from repro.scenarios import (
     ScenarioSpec,
     SearchSpec,
 )
+from repro.obs.metrics import counter_value, parse_exposition
 from repro.server import (
     JobManager,
     JobNotReady,
@@ -37,6 +38,7 @@ from repro.server import (
 )
 from repro.server.app import make_server
 from repro.server.cache import VOLATILE_KEYS
+from repro.server.client import parse_sse
 
 
 # --------------------------------------------------------------------------
@@ -538,3 +540,182 @@ def test_http_artifact_conflict_while_unfinished():
         server.server_close()
         thread.join(timeout=10)
         mgr.close()
+
+
+# --------------------------------------------------------------------------
+# Job event log (SSE source of truth)
+# --------------------------------------------------------------------------
+
+
+def test_job_event_log_is_replayable_ordered_and_end_terminated(manager):
+    spec = tiny_sweep(name="tiny-events")
+    job = manager.submit("sweep", spec.to_dict())
+    wait_terminal(manager, job["job_id"])
+    events, ended = manager.events_after(job["job_id"], -1)
+    assert ended
+    # seq == index: the log is append-only and replayable from any point.
+    assert [event["seq"] for event in events] == list(range(len(events)))
+    assert events[0]["event"] == "job"
+    assert events[0]["data"]["state"] == "queued"
+    cell_events = [event for event in events if event["event"] == "cell"]
+    assert len(cell_events) == len(spec.cells())
+    assert {event["data"]["cell_id"] for event in cell_events} == {
+        cell.cell_id for cell in spec.cells()
+    }
+    assert [event["event"] for event in events].count("end") == 1
+    assert events[-1]["event"] == "end"
+    assert events[-1]["data"]["state"] == "done"
+    # Resuming from the middle yields exactly the tail.
+    tail, ended = manager.events_after(job["job_id"], events[1]["seq"])
+    assert ended
+    assert [event["seq"] for event in tail] == [e["seq"] for e in events[2:]]
+    # Resuming past the end neither blocks nor yields anything.
+    empty, ended = manager.events_after(job["job_id"], events[-1]["seq"], wait_s=0.5)
+    assert empty == [] and ended
+
+
+def test_every_terminal_path_emits_exactly_one_end_event():
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated(payload):
+        started.set()
+        assert release.wait(timeout=60)
+        return {
+            "cell_id": payload["cell_id"],
+            "n": payload["n"],
+            "params": payload["params"],
+            "seeds": payload["seeds"],
+            "runs": [{"seed": seed} for seed in payload["seeds"]],
+            "stats": {},
+            "error": None,
+            "wall_time_s": 0.0,
+        }
+
+    manager = JobManager(
+        workers=1, max_inflight=1, executor_overrides={"sweep": gated}
+    )
+    try:
+        running = manager.submit("sweep", tiny_sweep(name="tiny-end-a").to_dict())
+        assert started.wait(timeout=30)
+        queued = manager.submit("sweep", tiny_sweep(name="tiny-end-b").to_dict())
+        manager.cancel(queued["job_id"])
+        events, ended = manager.events_after(queued["job_id"], -1)
+        assert ended
+        assert [event["event"] for event in events].count("end") == 1
+        assert events[-1]["data"]["state"] == "cancelled"
+
+        manager.cancel(running["job_id"])
+        release.set()
+        wait_terminal(manager, running["job_id"])
+        events, ended = manager.events_after(running["job_id"], -1)
+        assert ended
+        assert [event["event"] for event in events].count("end") == 1
+        assert events[-1]["data"]["state"] == "cancelled"
+    finally:
+        release.set()
+        manager.close()
+
+
+def test_manager_metrics_render_matches_lifecycle(manager):
+    spec = tiny_sweep(name="tiny-metrics")
+    job = manager.submit("sweep", spec.to_dict())
+    wait_terminal(manager, job["job_id"])
+    parsed = parse_exposition(manager.render_metrics())
+    assert counter_value(parsed, "repro_jobs_submitted_total", kind="sweep") == 1.0
+    assert (
+        counter_value(parsed, "repro_jobs_finished_total", kind="sweep", state="done")
+        == 1.0
+    )
+    assert (
+        counter_value(parsed, "repro_cells_total", kind="sweep", outcome="executed")
+        == len(spec.cells())
+    )
+    stats = manager.cache.stats()
+    for field in ("hits", "misses", "puts", "evictions"):
+        assert counter_value(parsed, f"repro_cache_{field}_total") == stats[field]
+    assert counter_value(parsed, "repro_cache_entries") == stats["entries"]
+    assert counter_value(parsed, "repro_jobs", state="done") == 1.0
+    assert parsed["repro_job_duration_seconds_count"][(("kind", "sweep"),)] == 1.0
+
+
+# --------------------------------------------------------------------------
+# HTTP: /metrics and the SSE stream
+# --------------------------------------------------------------------------
+
+
+def test_http_metrics_counters_match_cache_stats_and_stay_monotone(http_server):
+    client = http_server
+    before = parse_exposition(client.metrics())
+    spec = tiny_sweep(name="tiny-http-metrics")
+    for _ in range(2):
+        job = client.submit("sweep", spec.to_dict())
+        assert client.wait(job["job_id"], timeout_s=120.0)["state"] == "done"
+    after = parse_exposition(client.metrics())
+    stats = client.cache_stats()
+    for field in ("hits", "misses", "puts", "evictions"):
+        assert counter_value(after, f"repro_cache_{field}_total") == stats[field]
+    assert (
+        counter_value(after, "repro_jobs_finished_total", kind="sweep", state="done")
+        == 2.0
+    )
+    assert (
+        counter_value(after, "repro_cells_total", kind="sweep", outcome="cached")
+        == len(spec.cells())
+    )
+    for name, samples in before.items():
+        if not name.endswith("_total"):
+            continue
+        for labels, value in samples.items():
+            assert after.get(name, {}).get(labels, 0.0) >= value
+
+
+def test_http_sse_stream_is_ordered_replayable_and_resumable(http_server):
+    client = http_server
+    spec = tiny_sweep(name="tiny-http-sse")
+    job = client.submit("sweep", spec.to_dict())
+    assert client.wait(job["job_id"], timeout_s=120.0)["state"] == "done"
+
+    # A finished job replays its whole history and closes after "end".
+    events = list(client.watch(job["job_id"]))
+    seqs = [int(event["id"]) for event in events]
+    assert seqs == sorted(set(seqs))
+    assert events[-1]["event"] == "end"
+    assert {
+        event["data"]["cell_id"] for event in events if event["event"] == "cell"
+    } == {cell.cell_id for cell in spec.cells()}
+    assert all(event["data"]["job_id"] == job["job_id"] for event in events)
+
+    # Last-Event-ID resumes mid-log: only strictly later frames arrive.
+    request = urllib.request.Request(
+        f"{client.base_url}/jobs/{job['job_id']}/events",
+        headers={"Last-Event-ID": str(seqs[1])},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.headers["Content-Type"].startswith("text/event-stream")
+        resumed = list(parse_sse(response))
+    assert [int(event["id"]) for event in resumed] == seqs[2:]
+
+
+def test_http_sse_unknown_job_is_a_permanent_404(http_server):
+    with pytest.raises(ServerError) as excinfo:
+        list(http_server.watch("missing-job"))
+    assert excinfo.value.status == 404
+
+
+def test_parse_sse_frames_comments_and_multiline_data():
+    lines = [
+        b": keepalive\n",
+        b"id: 3\n",
+        b"event: cell\n",
+        b'data: {"a":\n',
+        b'data: 1}\n',
+        b"\n",
+        b'data: {"b": 2}\n',
+        b"\n",
+    ]
+    frames = list(parse_sse(iter(lines)))
+    assert frames == [
+        {"id": "3", "event": "cell", "data": {"a": 1}},
+        {"id": None, "event": "message", "data": {"b": 2}},
+    ]

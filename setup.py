@@ -37,9 +37,10 @@ setup(
         "NumPy-vectorised batch kernels with a pure-Python fallback), a "
         "parallel experiment-sweep subsystem, a dynamic-population "
         "chaos-scenario subsystem with adversarial frontier search, an "
-        "HTTP job server with a content-addressed result cache, and "
-        "end-to-end telemetry (run tracing, Prometheus-style /metrics, "
-        "live job event streams)"
+        "multi-host HTTP job server with remote pull-protocol workers and "
+        "a persistent content-addressed result cache, and end-to-end "
+        "telemetry (run tracing, Prometheus-style /metrics, live job "
+        "event streams)"
     ),
     package_dir={"": "src"},
     packages=find_namespace_packages(where="src"),
@@ -57,6 +58,7 @@ setup(
             "repro-sweep=repro.experiments.cli:main",
             "repro-chaos=repro.scenarios.cli:main",
             "repro-serve=repro.server.cli:main",
+            "repro-worker=repro.server.worker:main",
         ]
     },
 )

@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 #: Single source of truth for the package version (setup.py reads it here).
-PACKAGE_VERSION = "0.9.0"
+PACKAGE_VERSION = "0.10.0"
 
 
 def canonical_json(value: Any) -> str:

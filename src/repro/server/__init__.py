@@ -8,22 +8,41 @@ pool, deduplicates identical cells across jobs through a content-addressed
 result cache, and serves the finished ``SWEEP_``/``SCENARIO_``/``FRONTIER_``
 documents back over HTTP.
 
+The service also scales past one host: any number of ``repro-worker``
+processes can attach over the same HTTP API and pull cells through a
+leased work queue (TTL + heartbeat, at-least-once with first-result-wins
+dedup), and the result cache can persist to a ``--cache-dir`` of
+``<key>.json`` files so a restarted server still serves identical
+resubmissions from disk.
+
 Layers (stdlib only — no new required dependencies):
 
 * :mod:`repro.server.cache` — :class:`ResultCache`, keyed on the canonical
   cell payload JSON (which embeds the derived seeds) plus the code
-  fingerprint, and :func:`stable_document` for artifact comparison.
-* :mod:`repro.server.jobs` — :class:`JobManager`: FIFO queue, bounded
-  in-flight cell scheduling, cancellation, per-cell progress.
-* :mod:`repro.server.app` — the ``http.server`` JSON API.
+  fingerprint, optionally persistent on disk (atomic writes, quarantine
+  for corrupt entries, LRU bytes budget), and :func:`stable_document` for
+  artifact comparison.
+* :mod:`repro.server.work` — :class:`WorkQueue`, the lease table one
+  running batch exposes to remote workers.
+* :mod:`repro.server.jobs` — :class:`JobManager`: FIFO queue, mixed
+  local/remote cell scheduling, cancellation, per-cell progress.
+* :mod:`repro.server.app` — the ``http.server`` JSON API, including the
+  ``/work`` pull-protocol routes.
 * :mod:`repro.server.client` — :class:`ReproClient`, a thin stdlib HTTP
-  client for tests, scripts, and the CI smoke.
+  client for tests, scripts, workers, and the CI smoke.
 * :mod:`repro.server.cli` — the ``repro-serve`` console entry point.
+* :mod:`repro.server.worker` — the ``repro-worker`` console entry point
+  (lease → execute → push loop).
 """
 
+# NOTE: repro.server.worker is deliberately NOT imported here — the package
+# must stay importable without it so ``python -m repro.server.worker`` does
+# not trip runpy's already-in-sys.modules warning.  Import Worker from
+# :mod:`repro.server.worker` directly.
 from .cache import ResultCache, cache_key, stable_document
 from .client import ReproClient, ServerError
 from .jobs import JOB_KINDS, JobManager, JobNotReady, UnknownJob
+from .work import WorkQueue
 
 __all__ = [
     "JOB_KINDS",
@@ -33,6 +52,7 @@ __all__ = [
     "ResultCache",
     "ServerError",
     "UnknownJob",
+    "WorkQueue",
     "cache_key",
     "stable_document",
 ]

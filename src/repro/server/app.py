@@ -20,7 +20,18 @@ Routes:
                               lifecycle (replayable; ``Last-Event-ID``
                               resumes; closes after the ``end`` event)
 ``DELETE /jobs/<id>``         cancel (immediate if queued)
+``POST /work/lease``          ``{"worker": id}`` → one leased cell of the
+                              running batch (payload + lease id + TTL), or
+                              204 when nothing is leasable right now
+``POST /work/<lease>/heartbeat``  extend the lease's TTL (404 once the
+                              lease expired or the batch ended)
+``POST /work/<lease>/result`` push the executed cell record back;
+                              response says whether it was the first
+                              (``accepted``) or a dedup'd duplicate
 ============================  =============================================
+
+The three ``/work`` routes are the pull protocol ``repro-worker`` speaks —
+see :mod:`repro.server.worker`.
 
 Errors are JSON too: 400 carries the spec-validation message, 404 an
 unknown job id or route, 409 an artifact requested before the job is done.
@@ -209,9 +220,18 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         route = self._route()
-        if route != ("jobs",):
+        if route == ("jobs",):
+            self._submit_job()
+        elif route == ("work", "lease"):
+            self._lease_work()
+        elif len(route) == 3 and route[0] == "work" and route[2] == "heartbeat":
+            self._heartbeat_work(route[1])
+        elif len(route) == 3 and route[0] == "work" and route[2] == "result":
+            self._push_result(route[1])
+        else:
             self._error(404, f"no such route: POST {self.path}")
-            return
+
+    def _submit_job(self) -> None:
         body = self._read_json_body()
         if body is None:
             return
@@ -226,6 +246,36 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             self._error(400, str(error))
             return
         self._send_json(201, status)
+
+    # ------------------------------------------- worker pull protocol routes
+    def _lease_work(self) -> None:
+        body = self._read_json_body()
+        if body is None:
+            return
+        lease = self._manager.lease_work(body.get("worker") or "anonymous")
+        if lease is None:
+            # Nothing leasable right now; the worker polls again shortly.
+            self.send_response(204)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self._send_json(200, lease)
+
+    def _heartbeat_work(self, lease_id: str) -> None:
+        body = self._read_json_body()
+        if body is None:
+            return
+        extended = self._manager.heartbeat_work(lease_id)
+        if extended is None:
+            self._error(404, f"no active lease {lease_id!r} (expired or batch over)")
+            return
+        self._send_json(200, extended)
+
+    def _push_result(self, lease_id: str) -> None:
+        body = self._read_json_body()
+        if body is None:
+            return
+        self._send_json(200, self._manager.complete_work(lease_id, body))
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         route = self._route()

@@ -68,6 +68,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache capacity in cell records (default: %(default)s)",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persist the result cache as <key>.json files in this directory "
+            "(created if missing); a restarted server serves identical "
+            "resubmissions from disk (default: in-memory only)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help=(
+            "LRU bytes budget for the on-disk cache; least-recently-used "
+            "entry files are deleted once exceeded (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=60.0,
+        help=(
+            "remote work-lease time-to-live; a repro-worker that stops "
+            "heartbeating for this long is presumed dead and its cell is "
+            "requeued (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--remote-only",
+        action="store_true",
+        help=(
+            "never execute cells on the local pool; every cell waits for a "
+            "repro-worker to lease it (pure scheduler mode)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-request and per-job log lines",
@@ -82,8 +118,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         manager = JobManager(
             workers=args.workers,
             max_inflight=args.max_inflight,
-            cache=ResultCache(max_entries=args.cache_entries),
+            cache=ResultCache(
+                max_entries=args.cache_entries,
+                cache_dir=args.cache_dir,
+                max_disk_bytes=args.cache_max_bytes,
+            ),
             progress=progress,
+            lease_ttl_s=args.lease_ttl_s,
+            local_execution=not args.remote_only,
         )
     except (ReproError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -98,7 +98,10 @@ class ReproClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
+                raw = response.read()
+                if not raw:  # 204 No Content (e.g. nothing leasable)
+                    return {}
+                return json.loads(raw.decode("utf-8"))
         except urllib.error.HTTPError as error:
             raw = error.read().decode("utf-8", errors="replace")
             try:
@@ -147,6 +150,33 @@ class ReproClient:
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/jobs/{job_id}")
+
+    # ------------------------------------------------- worker pull protocol
+    def lease(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """``POST /work/lease``: one leased cell, or ``None`` (nothing now).
+
+        The lease dict carries ``lease_id``, the executor ``kind``, the
+        canonical worker ``payload``, and ``ttl_s`` — everything a
+        ``repro-worker`` needs to execute the cell and push its result.
+        """
+        lease = self._request("POST", "/work/lease", {"worker": worker_id})
+        return lease if lease.get("lease_id") else None
+
+    def heartbeat(self, lease_id: str) -> Dict[str, Any]:
+        """Extend a lease's TTL; raises :class:`ServerError` 404 once gone."""
+        return self._request("POST", f"/work/{lease_id}/heartbeat", {})
+
+    def push_result(
+        self, lease_id: str, record: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """``POST /work/<lease>/result``: push one executed cell record.
+
+        The response's ``outcome`` is ``accepted`` for the first result,
+        ``duplicate`` when another worker (or a local slot) got there
+        first, ``gone`` once the batch ended — all fine for the worker,
+        which just moves on to its next lease.
+        """
+        return self._request("POST", f"/work/{lease_id}/result", record)
 
     def wait(
         self,

@@ -15,6 +15,15 @@ Scheduling model:
   bounded chunks of at most ``max_inflight`` — the knob that keeps one
   giant grid from monopolising the pool unboundedly and gives
   cancellation its granularity.
+* While a batch runs, its unscheduled cells are also *leasable* by remote
+  ``repro-worker`` processes through the HTTP pull protocol
+  (:meth:`JobManager.lease_work` / :meth:`JobManager.complete_work`, backed
+  by :class:`~repro.server.work.WorkQueue`): the manager is a scheduler
+  over the local pool *plus* any number of worker hosts.  Leases carry a
+  TTL kept alive by heartbeats; a lease whose worker dies is expired and
+  its cell requeued (at-least-once, first result wins, replays dedup'd by
+  the content-addressed cache key).  With ``local_execution=False`` the
+  server computes nothing itself and remote workers do all the work.
 * Before a cell is scheduled its cache key is looked up; a hit reuses the
   stored record and the cell never reaches a worker.  Hits and fresh runs
   are merged by :func:`repro.resume.merge_cells` — the exact helper
@@ -27,7 +36,8 @@ Scheduling model:
 
 Search jobs schedule their probes through the same pool and cache via
 :class:`CachingPool`, so a resubmitted search replays its probe history
-for free.
+for free; probe batches flow through the same lease machinery, so remote
+workers serve searches too.
 """
 
 from __future__ import annotations
@@ -53,8 +63,10 @@ from ..scenarios.runner import execute_scenario_cell, scenario_cell_payload
 from ..scenarios.search import FrontierRunner, SearchSpec
 from ..scenarios.spec import ScenarioSpec
 from .cache import ResultCache, cache_key
+from .work import WorkItem, WorkQueue
 
 __all__ = [
+    "EXECUTOR_KINDS",
     "JOB_KINDS",
     "JOB_STATES",
     "CachingPool",
@@ -63,6 +75,14 @@ __all__ = [
     "JobNotReady",
     "UnknownJob",
 ]
+
+#: The worker entry point behind each lease ``kind`` — the vocabulary the
+#: pull protocol and ``repro-worker`` share (search probes are scenario
+#: cells, so two entries cover all three job kinds).
+EXECUTOR_KINDS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "sweep": execute_cell,
+    "scenario": execute_scenario_cell,
+}
 
 Progress = Optional[Callable[[str], None]]
 
@@ -219,6 +239,7 @@ class Job:
         self.finished_unix: Optional[float] = None
         self.cached = 0
         self.executed = 0
+        self.remote = 0
         self.runner: Optional[FrontierRunner] = None
         #: Append-only lifecycle event log for ``GET /jobs/<id>/events``:
         #: each entry is ``{"seq": i, "event": kind, "data": {...}}`` with
@@ -235,8 +256,15 @@ class Job:
             self.total_cells = len(self.cells)
 
 
-def _chunks(items: List[Any], size: int) -> List[List[Any]]:
-    return [items[start : start + size] for start in range(0, len(items), size)]
+@dataclass
+class _ActiveBatch:
+    """The one batch currently exposing leasable work (manager-internal)."""
+
+    job: Job
+    queue: WorkQueue
+    exec_kind: str
+    on_result: Callable[[Dict[str, Any], str], None]
+    cache_results: bool
 
 
 _ID_SANITISER = re.compile(r"[^A-Za-z0-9._-]+")
@@ -260,6 +288,15 @@ class JobManager:
             tests).  Only safe with in-process execution or picklable
             callables.
         retries: Lost-worker re-submissions, forwarded to the pool.
+        lease_ttl_s: Remote lease time-to-live.  A ``repro-worker`` that
+            stops heartbeating for this long is presumed dead and its cell
+            is requeued.
+        local_execution: When ``False`` the server never runs cells on its
+            own pool — every cell waits for a remote worker to lease it
+            (the pure scheduler mode the distributed CI smoke uses).
+        max_lease_attempts: How many leases one cell may burn through
+            before the manager gives up on it with a synthetic error
+            record.
     """
 
     def __init__(
@@ -270,6 +307,9 @@ class JobManager:
         progress: Progress = None,
         executor_overrides: Optional[Dict[str, Callable]] = None,
         retries: int = 1,
+        lease_ttl_s: float = 60.0,
+        local_execution: bool = True,
+        max_lease_attempts: int = 5,
     ) -> None:
         self.progress = progress
         self.cache = cache if cache is not None else ResultCache()
@@ -283,6 +323,16 @@ class JobManager:
         )
         if self.max_inflight < 1:
             raise ConfigurationError("max_inflight must be at least 1")
+        if lease_ttl_s <= 0:
+            raise ConfigurationError("lease_ttl_s must be positive")
+        self.lease_ttl_s = lease_ttl_s
+        self.local_execution = local_execution
+        self.max_lease_attempts = max_lease_attempts
+        # The lease table of the currently running batch (jobs run FIFO,
+        # so at most one batch exposes work at a time).
+        self._work_lock = threading.Lock()
+        self._active: Optional[_ActiveBatch] = None
+        self._known_workers: "set[str]" = set()
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
@@ -342,6 +392,40 @@ class JobManager:
             "repro_jobs", "Jobs currently known to the manager, by state.",
             labelnames=("state",),
         )
+        self._leases_granted = self.metrics.counter(
+            "repro_leases_granted_total",
+            "Work leases granted to remote workers, by worker id.",
+            labelnames=("worker",),
+        )
+        self._leases_expired = self.metrics.counter(
+            "repro_leases_expired_total",
+            "Leases that outlived their TTL without a result (worker "
+            "presumed dead).",
+        )
+        self._leases_requeued = self.metrics.counter(
+            "repro_leases_requeued_total",
+            "Cells put back on the queue after their lease expired.",
+        )
+        self._lease_results = self.metrics.counter(
+            "repro_lease_results_total",
+            "Results pushed by remote workers, by outcome "
+            "(accepted / duplicate / rejected / gone / unknown).",
+            labelnames=("outcome",),
+        )
+        self._worker_results = self.metrics.counter(
+            "repro_worker_results_total",
+            "Accepted remote results, by worker id.",
+            labelnames=("worker",),
+        )
+        self._work_pending = self.metrics.gauge(
+            "repro_work_pending",
+            "Cells of the running batch awaiting a lease or local slot.",
+        )
+        self._worker_leases = self.metrics.gauge(
+            "repro_worker_active_leases",
+            "Outstanding (unexpired, unfinished) leases per worker id.",
+            labelnames=("worker",),
+        )
         self.metrics.gauge(
             "repro_pool_workers", "Worker processes in the shared pool."
         ).set(self.workers)
@@ -389,6 +473,14 @@ class JobManager:
         self._cache_entries.set(stats["entries"])
         for state, count in self.counts().items():
             self._jobs_by_state.set(count, state=state)
+        with self._work_lock:
+            active = self._active
+            workers = set(self._known_workers)
+        snapshot = active.queue.snapshot() if active is not None else None
+        self._work_pending.set(snapshot["pending"] if snapshot else 0)
+        per_worker = snapshot["active_leases"] if snapshot else {}
+        for worker_id in workers:
+            self._worker_leases.set(per_worker.get(worker_id, 0), worker=worker_id)
 
     def render_metrics(self) -> str:
         """The Prometheus text exposition served at ``GET /metrics``."""
@@ -448,6 +540,237 @@ class JobManager:
             ended = bool(job.events) and job.events[-1]["event"] == "end"
         return events, ended
 
+    # ------------------------------------------------------- worker protocol
+    def _active_batch(self) -> Optional[_ActiveBatch]:
+        with self._work_lock:
+            return self._active
+
+    def _reap_batch(self, active: _ActiveBatch) -> None:
+        """Expire overdue leases of ``active``; requeue or give up.
+
+        Called from the dispatch loop every tick *and* from
+        :meth:`lease_work`, so a polling worker re-leases an expired cell
+        promptly even while the dispatcher is blocked on a local chunk.
+        """
+        expired, gave_up = active.queue.reap()
+        for lease in expired:
+            self._leases_expired.inc()
+            requeued = lease.item.attempts < active.queue.max_attempts
+            if requeued:
+                self._leases_requeued.inc()
+            self._emit(
+                active.job,
+                "lease",
+                {
+                    "lease_id": lease.lease_id,
+                    "worker": lease.worker_id,
+                    "cell_id": lease.item.payload.get("cell_id"),
+                    "state": "expired",
+                    "requeued": requeued,
+                },
+            )
+            self._report(
+                f"job {active.job.id}: lease {lease.lease_id} "
+                f"(worker {lease.worker_id}, cell "
+                f"{lease.item.payload.get('cell_id')}) expired"
+                + (" -> requeued" if requeued else " -> giving up")
+            )
+        for item, record in gave_up:
+            active.on_result(record, "lease-expired")
+
+    def lease_work(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Grant one cell of the running batch to a remote worker.
+
+        Returns the lease as a JSON-ready dict (``lease_id``, ``kind``,
+        the canonical worker ``payload``, ``ttl_s``), or ``None`` when
+        nothing is leasable right now — no running batch, or every cell is
+        taken (the worker should poll again shortly).
+        """
+        worker_id = str(worker_id or "anonymous")[:128]
+        active = self._active_batch()
+        if active is None:
+            return None
+        self._reap_batch(active)
+        lease = active.queue.lease(worker_id, ttl_s=self.lease_ttl_s)
+        if lease is None:
+            return None
+        with self._work_lock:
+            self._known_workers.add(worker_id)
+        self._leases_granted.inc(worker=worker_id)
+        self._emit(
+            active.job,
+            "lease",
+            {
+                "lease_id": lease.lease_id,
+                "worker": worker_id,
+                "cell_id": lease.item.payload.get("cell_id"),
+                "state": "granted",
+            },
+        )
+        return {
+            "lease_id": lease.lease_id,
+            "job_id": active.job.id,
+            "kind": lease.item.exec_kind,
+            "cell_id": lease.item.payload.get("cell_id"),
+            "payload": lease.item.payload,
+            "ttl_s": lease.ttl_s,
+            "attempt": lease.item.attempts,
+        }
+
+    def heartbeat_work(self, lease_id: str) -> Optional[Dict[str, Any]]:
+        """Extend a lease's TTL; ``None`` when the lease is gone/expired."""
+        active = self._active_batch()
+        if active is None:
+            return None
+        lease = active.queue.heartbeat(lease_id)
+        if lease is None:
+            return None
+        return {"lease_id": lease.lease_id, "ttl_s": lease.ttl_s}
+
+    def complete_work(self, lease_id: str, record: Any) -> Dict[str, Any]:
+        """Accept a pushed result for a leased cell.
+
+        Outcomes mirror :meth:`WorkQueue.complete`, plus ``"rejected"``
+        for a malformed record (not a dict, or for the wrong cell).  Only
+        the first result per cell is used; duplicates — e.g. a worker that
+        lost its lease to a timeout but finished anyway, racing the
+        requeued execution — are acknowledged and dropped.
+        """
+        active = self._active_batch()
+        if active is None:
+            self._lease_results.inc(outcome="gone")
+            return {"lease_id": lease_id, "outcome": "gone", "accepted": False}
+        if not isinstance(record, dict) or not record:
+            self._lease_results.inc(outcome="rejected")
+            return {
+                "lease_id": lease_id,
+                "outcome": "rejected",
+                "accepted": False,
+                "error": "the result must be a non-empty cell record object",
+            }
+        lease = active.queue.peek(lease_id)
+        if lease is not None and record.get("cell_id") != lease.item.payload.get(
+            "cell_id"
+        ):
+            # A record for the wrong cell is useless; leave the lease to
+            # expire (and the cell to requeue) on its own TTL.
+            self._lease_results.inc(outcome="rejected")
+            return {
+                "lease_id": lease_id,
+                "outcome": "rejected",
+                "accepted": False,
+                "error": (
+                    f"result is for cell {record.get('cell_id')!r} but the "
+                    f"lease is for {lease.item.payload.get('cell_id')!r}"
+                ),
+            }
+        outcome, lease = active.queue.complete(lease_id, record)
+        self._lease_results.inc(outcome=outcome)
+        if outcome == "accepted":
+            self._worker_results.inc(worker=lease.worker_id)
+            if active.cache_results:
+                self.cache.put(lease.item.cache_key, record)
+            active.on_result(record, f"worker:{lease.worker_id}")
+        return {
+            "lease_id": lease_id,
+            "outcome": outcome,
+            "accepted": outcome == "accepted",
+        }
+
+    def _run_batch(
+        self,
+        job: Job,
+        exec_kind: str,
+        payloads: List[Dict[str, Any]],
+        executor: Callable[[Dict[str, Any]], Dict[str, Any]],
+        timeout_s: Optional[float],
+        on_result: Callable[[Dict[str, Any], str], None],
+        cache_results: bool = True,
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Drain one batch through the local pool and/or remote workers.
+
+        The mixed-dispatch core: items are leasable by remote workers the
+        whole time, while (with :attr:`local_execution`) the dispatcher
+        concurrently feeds ``max_inflight``-sized chunks to the local pool.
+        Returns per-payload records in payload order (``None`` only where
+        cancellation aborted the batch first).  ``on_result(record,
+        source)`` fires exactly once per resolved item, tagged ``"local"``,
+        ``"worker:<id>"``, or ``"lease-expired"``.
+        """
+        fingerprint = code_fingerprint()
+        items = [
+            WorkItem(
+                item_id=f"item-{index:05d}",
+                exec_kind=exec_kind,
+                payload=payload,
+                cache_key=cache_key(payload, fingerprint),
+            )
+            for index, payload in enumerate(payloads)
+        ]
+        work_queue = WorkQueue(
+            items,
+            ttl_s=self.lease_ttl_s,
+            max_attempts=self.max_lease_attempts,
+        )
+        active = _ActiveBatch(
+            job=job,
+            queue=work_queue,
+            exec_kind=exec_kind,
+            on_result=on_result,
+            cache_results=cache_results,
+        )
+        with self._work_lock:
+            self._active = active
+        try:
+            while True:
+                self._reap_batch(active)
+                if job.cancel.is_set():
+                    work_queue.abort()
+                    break
+                if work_queue.finished:
+                    break
+                chunk = (
+                    work_queue.take_local(self.max_inflight)
+                    if self.local_execution
+                    else []
+                )
+                if not chunk:
+                    work_queue.wait(0.2)
+                    continue
+                by_cell = {
+                    item.payload.get("cell_id"): item for item in chunk
+                }
+
+                def note(record: Dict[str, Any]) -> None:
+                    item = by_cell.get((record or {}).get("cell_id"))
+                    if item is not None and work_queue.resolve_local(
+                        item.item_id, record
+                    ):
+                        if cache_results:
+                            self.cache.put(item.cache_key, record)
+                        on_result(record, "local")
+
+                records = self._pool.map(
+                    [item.payload for item in chunk],
+                    timeout_s=timeout_s,
+                    on_result=note,
+                    executor=executor,
+                )
+                # Safety net for records the callback could not attribute
+                # (e.g. a missing cell_id): resolve by position.
+                for item, record in zip(chunk, records):
+                    if record is not None and work_queue.resolve_local(
+                        item.item_id, record
+                    ):
+                        if cache_results:
+                            self.cache.put(item.cache_key, record)
+                        on_result(record, "local")
+        finally:
+            with self._work_lock:
+                self._active = None
+            work_queue.abort()
+        return work_queue.results_in_order()
+
     # ------------------------------------------------------------ submission
     def submit(self, kind: str, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
         """Validate and enqueue one job; returns its status snapshot.
@@ -496,6 +819,7 @@ class JobManager:
                     "completed_cells": len(history),
                     "cached_cells": job.cached,
                     "executed_cells": job.executed,
+                    "remote_cells": job.remote,
                     "failed_cells": [],
                 }
             else:
@@ -505,6 +829,7 @@ class JobManager:
                     "completed_cells": job.cached + job.executed,
                     "cached_cells": job.cached,
                     "executed_cells": job.executed,
+                    "remote_cells": job.remote,
                     "failed_cells": sorted(
                         cell_id for cell_id, state in cells.items() if state == "failed"
                     ),
@@ -600,13 +925,17 @@ class JobManager:
         job_kind = JOB_KINDS[kind]
         return job_kind.executor if job_kind.executor else execute_scenario_cell
 
-    def _note_cell_result(self, job: Job, record: Dict[str, Any]) -> None:
+    def _note_cell_result(
+        self, job: Job, record: Dict[str, Any], source: str = "local"
+    ) -> None:
         state = "failed" if record.get("error") else "done"
         with self._lock:
             cell_id = record.get("cell_id")
             if cell_id in job.cells:
                 job.cells[cell_id] = state
             job.executed += 1
+            if source.startswith("worker:"):
+                job.remote += 1
             completed = job.cached + job.executed
         self._cells_finished.inc(
             kind=job.kind, outcome="failed" if state == "failed" else "executed"
@@ -620,6 +949,7 @@ class JobManager:
             {
                 "cell_id": cell_id,
                 "state": state,
+                "source": source,
                 "completed": completed,
                 "total": job.total_cells,
             },
@@ -631,12 +961,11 @@ class JobManager:
         cells = spec.cells()
         payloads = kind.payloads(spec, cells)
         fingerprint = code_fingerprint()
-        keys = [cache_key(payload, fingerprint) for payload in payloads]
 
         cached_records: List[Dict[str, Any]] = []
-        pending: List[Any] = []
-        for cell, payload, key in zip(cells, payloads, keys):
-            record = self.cache.get(key)
+        pending: List[Dict[str, Any]] = []
+        for cell, payload in zip(cells, payloads):
+            record = self.cache.get(cache_key(payload, fingerprint))
             if record is not None:
                 cached_records.append(record)
                 with self._lock:
@@ -655,33 +984,27 @@ class JobManager:
                     },
                 )
             else:
-                pending.append((cell, payload, key))
+                pending.append(payload)
         if cached_records:
             self._report(
                 f"job {job.id}: {len(cached_records)} of {len(cells)} cells "
                 f"served from cache"
             )
 
-        executor = self._executor_for(job.kind)
         timeout = None
         if spec.cell_timeout_s is not None:
             # Grace over the in-worker budget so the worker's own timeout
             # record (which preserves completed runs) wins when possible.
             timeout = spec.cell_timeout_s + 30.0
-        fresh: List[Dict[str, Any]] = []
-        for chunk in _chunks(pending, self.max_inflight):
-            if job.cancel.is_set():
-                break
-            records = self._pool.map(
-                [payload for _cell, payload, _key in chunk],
-                timeout_s=timeout,
-                on_result=lambda record: self._note_cell_result(job, record),
-                executor=executor,
-            )
-            for (_cell, _payload, key), record in zip(chunk, records):
-                fresh.append(record)
-                if record is not None:
-                    self.cache.put(key, record)
+        results = self._run_batch(
+            job,
+            job.kind,  # grid kinds ("sweep"/"scenario") name their entry point
+            pending,
+            self._executor_for(job.kind),
+            timeout,
+            lambda record, source: self._note_cell_result(job, record, source),
+        )
+        fresh = [record for record in results if record is not None]
 
         if job.cancel.is_set():
             self._finish(
@@ -704,13 +1027,13 @@ class JobManager:
         failed = document.get("failed_cells") or []
         self._report(
             f"job {job.id}: done ({len(merged)} cells, {job.cached} cached, "
-            f"{len(failed)} failed)"
+            f"{job.remote} remote, {len(failed)} failed)"
         )
 
     def _run_search_job(self, job: Job) -> None:
         spec = job.spec
         caching_pool = CachingPool(
-            self._pool,
+            _BatchPool(self, job),  # type: ignore[arg-type] - duck-typed
             self.cache,
             on_hit=lambda record: self._note_probe(job, cached=True),
             on_fresh=lambda record: self._note_probe(job, cached=False),
@@ -741,6 +1064,7 @@ class JobManager:
             f"{job.cached} cached)"
         )
 
+    # --------------------------------------------------------------- search
     def _note_probe(self, job: Job, cached: bool) -> None:
         with self._lock:
             if cached:
@@ -754,3 +1078,42 @@ class JobManager:
         self._emit(
             job, "probe", {"cached": cached, "completed": completed}
         )
+
+
+class _BatchPool:
+    """A pool facade that routes search probe batches through
+    :meth:`JobManager._run_batch`, so probes are leasable by remote
+    workers exactly like grid cells.  Handed to :class:`CachingPool` in
+    place of the raw :class:`PoolExecutor` (which handles the cache, so
+    ``cache_results=False`` here avoids double puts).  Probes are always
+    scenario cells, hence ``exec_kind="scenario"``.
+    """
+
+    def __init__(self, manager: JobManager, job: Job) -> None:
+        self._manager = manager
+        self._job = job
+        self.workers = manager.workers
+
+    def map(
+        self,
+        payloads: List[Dict[str, Any]],
+        timeout_s: Optional[float] = None,
+        on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
+        executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ) -> List[Optional[Dict[str, Any]]]:
+        def note(record: Dict[str, Any], _source: str) -> None:
+            if on_result:
+                on_result(record)
+
+        return self._manager._run_batch(
+            self._job,
+            "scenario",
+            list(payloads),
+            executor if executor is not None else execute_scenario_cell,
+            timeout_s,
+            note,
+            cache_results=False,
+        )
+
+    def close(self) -> None:
+        """No-op: the underlying pool belongs to the job manager."""

@@ -1,28 +1,46 @@
 """End-to-end smoke for the job server; the CI demo.
 
-Boots ``repro-serve`` as a subprocess on an ephemeral port, submits a
-builtin sweep **twice**, and asserts the service contract:
+Two modes, both booting real ``repro-serve`` subprocesses on ephemeral
+ports and asserting the service contract from outside.
+
+**Single-host mode** (default) submits a builtin sweep **twice**:
 
 * the first job computes every cell on the workers, and a live
   ``/jobs/<id>/events`` stream opened at submission delivers at least one
   ``cell`` event per grid cell, in strictly increasing sequence order,
   with the ``end`` event last,
 * the second identical job is served *entirely* from the result cache
-  (``executed_cells == 0``, ``/cache/stats`` hits >= grid size),
+  (``executed_cells == 0``) — and with ``--cache-dir`` the server is
+  **restarted between the two submissions**, so the 100%-hit assertion
+  proves the on-disk cache (``disk_loads >= grid``), not process memory,
 * ``/metrics`` parses as Prometheus text exposition, its cache counters
-  equal ``/cache/stats`` exactly, every counter is monotone across the
-  run, and ``repro_jobs_finished_total{kind="sweep",state="done"}`` lands
-  on 2,
-* both served artifacts agree under :func:`~repro.server.cache.stable_document`,
+  equal ``/cache/stats`` exactly, and every counter is monotone within
+  each server's lifetime,
+* both served artifacts agree under
+  :func:`~repro.server.cache.stable_document`,
 * and, with ``--compare``, the served artifact equals the document the
   batch CLI wrote for the same spec — cache, server, and CLI are three
   routes to one byte-identical (modulo timestamps) result.
 
-Usage (CI runs exactly this)::
+**Distributed mode** (``--distributed``) boots the server with
+``--remote-only`` (it schedules but never executes), attaches two external
+``repro-worker`` subprocesses, submits the sweep once, and SIGKILLs the
+first worker the moment it announces a lease — mid-cell, by construction.
+The job must still complete: the dead worker's lease expires at its TTL,
+the cell is requeued, and the surviving worker finishes it.  The served
+artifact must equal the single-host CLI artifact modulo volatile keys, and
+``/metrics`` must show the expiry and requeue.
+
+Usage (CI runs exactly these)::
 
     python -m repro.server.smoke --workers 2 \\
+        --cache-dir reports/smoke-cache \\
         --compare reports/SWEEP_counting-smoke.json \\
         --output reports/SERVED_counting-smoke.json
+
+    python -m repro.server.smoke --distributed --lease-ttl-s 10 \\
+        --compare reports/SWEEP_counting-smoke.json \\
+        --output reports/SERVED_distributed-smoke.json
 """
 
 from __future__ import annotations
@@ -34,7 +52,8 @@ import re
 import subprocess
 import sys
 import threading
-from typing import List, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from ..experiments.builtin import resolve_builtin
 from ..obs.metrics import counter_value, parse_exposition
@@ -55,7 +74,9 @@ def _drain(stream, sink: List[str]) -> None:
         sink.append(line)
 
 
-def _start_server(workers: int) -> "tuple[subprocess.Popen, str, List[str]]":
+def _start_server(
+    workers: int, extra_args: Optional[List[str]] = None
+) -> "tuple[subprocess.Popen, str, List[str]]":
     process = subprocess.Popen(
         [
             sys.executable,
@@ -66,6 +87,7 @@ def _start_server(workers: int) -> "tuple[subprocess.Popen, str, List[str]]":
             "--workers",
             str(workers),
             "--quiet",
+            *(extra_args or []),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -92,6 +114,17 @@ def _start_server(workers: int) -> "tuple[subprocess.Popen, str, List[str]]":
     return process, base_url, log
 
 
+def _stop_server(process: Optional[subprocess.Popen]) -> None:
+    if process is None:
+        return
+    process.terminate()
+    try:
+        process.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=15)
+
+
 def _expect(condition: bool, message: str) -> None:
     if not condition:
         raise SmokeFailure(message)
@@ -106,41 +139,84 @@ def _watch_into(client: ReproClient, job_id: str, sink: List[dict], errors: List
         errors.append(f"{type(error).__name__}: {error}")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.server.smoke",
-        description="Boot repro-serve and prove the submit/cache/serve contract.",
+def _check_metrics_contract(
+    client: ReproClient,
+    metrics_before: Dict[str, Dict[Any, float]],
+    jobs_done: int,
+) -> None:
+    """Cache counters match ``/cache/stats``; counters monotone; jobs land."""
+    stats = client.cache_stats()
+    metrics_after = parse_exposition(client.metrics())
+    for field in ("hits", "misses", "puts", "evictions"):
+        exposed = counter_value(metrics_after, f"repro_cache_{field}_total")
+        _expect(
+            exposed == stats[field],
+            f"/metrics repro_cache_{field}_total={exposed} disagrees with "
+            f"/cache/stats {field}={stats[field]}",
+        )
+    for name, samples in metrics_before.items():
+        if not name.endswith("_total"):
+            continue
+        for labels, value in samples.items():
+            now = metrics_after.get(name, {}).get(labels, 0.0)
+            _expect(
+                now >= value,
+                f"counter {name}{dict(labels)} went backwards: {value} -> {now}",
+            )
+    finished = counter_value(
+        metrics_after, "repro_jobs_finished_total", kind="sweep", state="done"
     )
-    parser.add_argument(
-        "--sweep",
-        default="counting-smoke",
-        help="builtin sweep to submit (default: %(default)s)",
+    _expect(
+        finished == jobs_done,
+        f'repro_jobs_finished_total{{kind="sweep",state="done"}} should be '
+        f"{jobs_done}, got {finished}",
     )
-    parser.add_argument(
-        "--workers", type=int, default=2, help="server worker processes"
+    print(
+        f"metrics: {len(metrics_after)} families parsed, cache counters match "
+        "/cache/stats, counters monotone"
     )
-    parser.add_argument(
-        "--timeout-s", type=float, default=600.0, help="per-job wait budget"
-    )
-    parser.add_argument(
-        "--compare",
-        default=None,
-        help="CLI-written SWEEP_*.json to compare the served artifact against",
-    )
-    parser.add_argument(
-        "--output",
-        default=None,
-        help="where to write the served artifact document",
-    )
-    args = parser.parse_args(argv)
 
+
+def _compare_and_write(
+    artifact: Dict[str, Any],
+    compare: Optional[str],
+    output: Optional[str],
+) -> None:
+    if compare:
+        with open(compare, "r", encoding="utf-8") as handle:
+            cli_document = json.load(handle)
+        _expect(
+            stable_document(cli_document) == stable_document(artifact),
+            f"served artifact differs from CLI artifact {compare} "
+            f"beyond volatile fields",
+        )
+        print(f"artifact equivalence: served == CLI ({compare})")
+    if output:
+        directory = os.path.dirname(output)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"served artifact written to {output}")
+
+
+# --------------------------------------------------------------------------
+# Single-host flow (optionally with a restart between the two submissions)
+# --------------------------------------------------------------------------
+
+
+def _single_host_flow(args: argparse.Namespace) -> int:
     spec = resolve_builtin(args.sweep)
     spec_dict = spec.to_dict()
     grid = len(spec.cells())
-    process = base_url = None
+    server_args: List[str] = []
+    if args.cache_dir:
+        server_args += ["--cache-dir", args.cache_dir]
+    process = None
     log: List[str] = []
     try:
-        process, base_url, log = _start_server(args.workers)
+        process, base_url, log = _start_server(args.workers, server_args)
         client = ReproClient(base_url)
 
         health = client.healthz()
@@ -198,6 +274,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             "ordered, end-terminated"
         )
 
+        if args.cache_dir:
+            # Restart the server: the second submission can only be served
+            # from disk, so the 100%-hit assertion below proves persistence.
+            _check_metrics_contract(client, metrics_before, jobs_done=1)
+            _stop_server(process)
+            process = None
+            print(f"server restarted over cache dir {args.cache_dir}")
+            process, base_url, log = _start_server(args.workers, server_args)
+            client = ReproClient(base_url)
+            metrics_before = parse_exposition(client.metrics())
+
         second = client.submit("sweep", spec_dict)
         done_second = client.wait(second["job_id"], timeout_s=args.timeout_s)
         _expect(
@@ -217,66 +304,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             stats["hits"] >= grid,
             f"expected at least {grid} cache hits, got {stats}",
         )
-        print(
-            f"cache: {stats['hits']} hits / {stats['misses']} misses "
-            f"({stats['entries']} entries)"
-        )
-
-        metrics_after = parse_exposition(client.metrics())
-        for field in ("hits", "misses", "puts", "evictions"):
-            exposed = counter_value(metrics_after, f"repro_cache_{field}_total")
+        if args.cache_dir:
             _expect(
-                exposed == stats[field],
-                f"/metrics repro_cache_{field}_total={exposed} disagrees with "
-                f"/cache/stats {field}={stats[field]}",
+                stats["disk_loads"] >= grid,
+                f"expected at least {grid} disk loads after the restart, "
+                f"got {stats}",
             )
-        for name, samples in metrics_before.items():
-            if not name.endswith("_total"):
-                continue
-            for labels, value in samples.items():
-                now = metrics_after.get(name, {}).get(labels, 0.0)
-                _expect(
-                    now >= value,
-                    f"counter {name}{dict(labels)} went backwards: {value} -> {now}",
-                )
-        finished = counter_value(
-            metrics_after, "repro_jobs_finished_total", kind="sweep", state="done"
-        )
-        _expect(
-            finished == 2,
-            f'repro_jobs_finished_total{{kind="sweep",state="done"}} should be 2, '
-            f"got {finished}",
-        )
-        print(
-            f"metrics: {len(metrics_after)} families parsed, cache counters match "
-            "/cache/stats, counters monotone"
+            print(
+                f"cache: {stats['hits']} hits, {stats['disk_loads']} loaded "
+                f"from disk ({stats['disk_entries']} files, "
+                f"{stats['disk_bytes']} bytes on disk)"
+            )
+        else:
+            print(
+                f"cache: {stats['hits']} hits / {stats['misses']} misses "
+                f"({stats['entries']} entries)"
+            )
+
+        _check_metrics_contract(
+            client, metrics_before, jobs_done=1 if args.cache_dir else 2
         )
 
         _expect(
             stable_document(artifact_first) == stable_document(artifact_second),
             "computed and cache-served artifacts differ beyond volatile fields",
         )
-        print("artifact equivalence: computed == cache-served")
+        print("artifact equivalence: computed == cache-served"
+              + (" (across a restart)" if args.cache_dir else ""))
 
-        if args.compare:
-            with open(args.compare, "r", encoding="utf-8") as handle:
-                cli_document = json.load(handle)
-            _expect(
-                stable_document(cli_document) == stable_document(artifact_second),
-                f"served artifact differs from CLI artifact {args.compare} "
-                f"beyond volatile fields",
-            )
-            print(f"artifact equivalence: served == CLI ({args.compare})")
-
-        if args.output:
-            directory = os.path.dirname(args.output)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            with open(args.output, "w", encoding="utf-8") as handle:
-                json.dump(artifact_second, handle, indent=2, sort_keys=True)
-                handle.write("\n")
-            print(f"served artifact written to {args.output}")
-
+        _compare_and_write(artifact_second, args.compare, args.output)
         print("server smoke: PASS")
         return 0
     except SmokeFailure as failure:
@@ -285,13 +341,216 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("server output:\n" + "".join(log), file=sys.stderr)
         return 1
     finally:
-        if process is not None:
-            process.terminate()
+        _stop_server(process)
+
+
+# --------------------------------------------------------------------------
+# Distributed flow: two external workers, one SIGKILLed mid-cell
+# --------------------------------------------------------------------------
+
+
+class _WorkerProcess:
+    """One external ``repro-worker`` subprocess with a watched log."""
+
+    def __init__(self, base_url: str, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.log: List[str] = []
+        self.leased = threading.Event()
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server.worker",
+                "--server",
+                base_url,
+                "--worker-id",
+                worker_id,
+                "--poll-s",
+                "0.1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        threading.Thread(target=self._watch, daemon=True).start()
+
+    def _watch(self) -> None:
+        assert self.process.stdout is not None
+        for line in self.process.stdout:
+            self.log.append(line)
+            # The worker prints its "leased" line *before* executing, so a
+            # kill on this signal is guaranteed to land mid-cell.
+            if " leased " in line:
+                self.leased.set()
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.wait(timeout=15)
+
+
+def _distributed_flow(args: argparse.Namespace) -> int:
+    spec = resolve_builtin(args.sweep)
+    spec_dict = spec.to_dict()
+    grid = len(spec.cells())
+    process = None
+    log: List[str] = []
+    workers: List[_WorkerProcess] = []
+    try:
+        process, base_url, log = _start_server(
+            2, ["--remote-only", "--lease-ttl-s", str(args.lease_ttl_s)]
+        )
+        client = ReproClient(base_url)
+        health = client.healthz()
+        print(
+            f"healthz: version {health['version']} (remote-only scheduler, "
+            f"lease TTL {args.lease_ttl_s:g}s)"
+        )
+
+        workers = [
+            _WorkerProcess(base_url, "smoke-victim"),
+            _WorkerProcess(base_url, "smoke-survivor"),
+        ]
+        print("attached 2 repro-worker processes")
+
+        job = client.submit("sweep", spec_dict)
+        job_id = job["job_id"]
+
+        # SIGKILL the victim the instant it announces its first lease —
+        # before the cell finishes, so its lease must expire and requeue.
+        deadline = time.monotonic() + args.timeout_s
+        while not workers[0].leased.is_set():
+            _expect(
+                time.monotonic() < deadline,
+                "the victim worker never leased a cell; server log:\n"
+                + "".join(workers[0].log),
+            )
+            _expect(
+                workers[0].process.poll() is None,
+                "the victim worker exited before leasing:\n"
+                + "".join(workers[0].log),
+            )
+            time.sleep(0.02)
+        workers[0].process.kill()
+        workers[0].process.wait(timeout=15)
+        print("SIGKILLed smoke-victim mid-cell (after its first lease)")
+
+        done = client.wait(job_id, timeout_s=args.timeout_s)
+        _expect(
+            done["state"] == "done",
+            f"job finished {done['state']} despite the surviving worker: "
+            f"{done['error']}",
+        )
+        progress = done["progress"]
+        _expect(
+            progress["failed_cells"] == [],
+            f"no cell may fail over a worker death, got {progress}",
+        )
+        _expect(
+            progress["executed_cells"] == grid,
+            f"all {grid} cells should execute remotely, got {progress}",
+        )
+        print(
+            f"job {job_id}: done, {progress['remote_cells']} cells via "
+            "remote workers"
+        )
+
+        metrics = parse_exposition(client.metrics())
+        expired = counter_value(metrics, "repro_leases_expired_total")
+        requeued = counter_value(metrics, "repro_leases_requeued_total")
+        _expect(
+            expired >= 1 and requeued >= 1,
+            f"the killed worker's lease must expire and requeue, got "
+            f"expired={expired} requeued={requeued}",
+        )
+        survivor_cells = counter_value(
+            metrics, "repro_worker_results_total", worker="smoke-survivor"
+        )
+        _expect(
+            survivor_cells >= 1,
+            f"the surviving worker should finish cells, got {survivor_cells}",
+        )
+        print(
+            f"leases: {expired:g} expired, {requeued:g} requeued, "
+            f"{survivor_cells:g} cells by the survivor"
+        )
+
+        artifact = client.artifact(job_id)
+        _compare_and_write(artifact, args.compare, args.output)
+        print("distributed smoke: PASS")
+        return 0
+    except SmokeFailure as failure:
+        print(f"distributed smoke: FAIL - {failure}", file=sys.stderr)
+        if log:
+            print("server output:\n" + "".join(log), file=sys.stderr)
+        for worker in workers:
+            if worker.log:
+                print(
+                    f"{worker.worker_id} output:\n" + "".join(worker.log),
+                    file=sys.stderr,
+                )
+        return 1
+    finally:
+        for worker in workers:
             try:
-                process.wait(timeout=15)
+                worker.stop()
             except subprocess.TimeoutExpired:
-                process.kill()
-                process.wait(timeout=15)
+                pass
+        _stop_server(process)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.smoke",
+        description="Boot repro-serve and prove the submit/cache/serve contract.",
+    )
+    parser.add_argument(
+        "--sweep",
+        default="counting-smoke",
+        help="builtin sweep to submit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="server worker processes"
+    )
+    parser.add_argument(
+        "--timeout-s", type=float, default=600.0, help="per-job wait budget"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persist the result cache here and restart the server between "
+            "the two submissions, proving the on-disk cache"
+        ),
+    )
+    parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "remote-only mode: attach two repro-worker processes, SIGKILL "
+            "one mid-cell, and require the job to complete anyway"
+        ),
+    )
+    parser.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=10.0,
+        help="lease TTL for --distributed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="CLI-written SWEEP_*.json to compare the served artifact against",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the served artifact document",
+    )
+    args = parser.parse_args(argv)
+    if args.distributed:
+        return _distributed_flow(args)
+    return _single_host_flow(args)
 
 
 if __name__ == "__main__":

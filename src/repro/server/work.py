@@ -1,0 +1,322 @@
+"""The lease table behind the multi-host worker pull protocol.
+
+One :class:`WorkQueue` holds one batch of cells awaiting execution — the
+pending cells of a grid job, or one probe batch of a frontier search.  Two
+kinds of consumers drain it concurrently:
+
+* the *local* dispatcher, which takes chunks of items for the server's own
+  worker pool (:meth:`WorkQueue.take_local`), and
+* any number of *remote* ``repro-worker`` processes, which pull one item at
+  a time over HTTP (:meth:`WorkQueue.lease`), heartbeat while executing,
+  and push a result back (:meth:`WorkQueue.complete`).
+
+Remote workers can die without warning — that is the whole point of the
+protocol — so every lease carries a TTL.  A lease whose worker stops
+heartbeating past its deadline is *expired* by :meth:`WorkQueue.reap` and
+its item is requeued for someone else (at-least-once semantics; results
+are deduplicated first-wins per item, and identical payloads replay for
+free through the content-addressed result cache anyway).  An item whose
+leases keep expiring is eventually given up on with a synthetic error
+record, mirroring what :class:`~repro.experiments.runner.PoolExecutor`
+does for repeatedly lost local tasks, so one black-hole worker cannot wedge
+a job forever.
+
+Everything is guarded by a single condition variable; completions and
+requeues notify it, which is what lets the dispatcher sleep while remote
+workers grind and wake the moment the batch finishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Lease", "WorkItem", "WorkQueue", "give_up_record"]
+
+#: Lease lifecycle states.
+LEASE_STATES = ("active", "expired", "completed")
+
+
+@dataclass
+class WorkItem:
+    """One executable cell: a worker payload plus routing metadata.
+
+    ``item_id`` is unique within its queue (cell ids may collide across
+    probe batches, so the queue keys results on its own ids).  ``exec_kind``
+    names the worker entry point — ``"sweep"`` for
+    :func:`~repro.experiments.runner.execute_cell`, ``"scenario"`` for
+    :func:`~repro.scenarios.runner.execute_scenario_cell` (searches probe
+    scenario cells) — which is how a remote worker knows what to run.
+    ``cache_key`` is the content address the result is stored under.
+    """
+
+    item_id: str
+    exec_kind: str
+    payload: Dict[str, Any]
+    cache_key: str
+    attempts: int = 0
+
+
+@dataclass
+class Lease:
+    """One grant of one item to one remote worker, with a deadline."""
+
+    lease_id: str
+    item: WorkItem
+    worker_id: str
+    ttl_s: float
+    granted_at: float
+    expires_at: float
+    state: str = "active"
+    completed_at: Optional[float] = None
+
+
+def give_up_record(item: WorkItem, reason: str) -> Dict[str, Any]:
+    """The synthetic failed record for an item no worker could finish.
+
+    Mirrors the shape :class:`~repro.experiments.runner.PoolExecutor`
+    synthesises for repeatedly lost tasks, so artifact consumers see one
+    failure vocabulary.
+    """
+    payload = item.payload
+    return {
+        "cell_id": payload.get("cell_id"),
+        "n": payload.get("n"),
+        "params": payload.get("params"),
+        "seeds": payload.get("seeds"),
+        "runs": [],
+        "stats": None,
+        "error": reason,
+        "wall_time_s": None,
+    }
+
+
+class WorkQueue:
+    """One batch of work items, drained by local chunks and remote leases.
+
+    Args:
+        items: The batch, in result order.
+        ttl_s: Default lease time-to-live; heartbeats extend it by the
+            lease's own TTL each time.
+        max_attempts: How many times one item may be *leased* before an
+            expiry gives up on it with a synthetic error record.
+        clock: Monotonic time source (test seam).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        items: List[WorkItem],
+        ttl_s: float = 60.0,
+        max_attempts: int = 5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.ttl_s = ttl_s
+        self.max_attempts = max_attempts
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._items = list(items)
+        self._pending: List[WorkItem] = list(items)
+        self._leases: Dict[str, Lease] = {}
+        self._results: Dict[str, Dict[str, Any]] = {}
+        self._local: set = set()
+        self._aborted = False
+        self.requeues = 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    @property
+    def finished(self) -> bool:
+        """All items resolved (every item has a result), or aborted."""
+        with self._cond:
+            return self._aborted or len(self._results) == len(self._items)
+
+    def result(self, item_id: str) -> Optional[Dict[str, Any]]:
+        with self._cond:
+            return self._results.get(item_id)
+
+    def results_in_order(self) -> List[Optional[Dict[str, Any]]]:
+        """Per-item records in submission order (``None`` where unresolved)."""
+        with self._cond:
+            return [self._results.get(item.item_id) for item in self._items]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Live counts for metrics collectors and progress endpoints."""
+        with self._cond:
+            per_worker: Dict[str, int] = {}
+            for lease in self._leases.values():
+                if lease.state == "active":
+                    per_worker[lease.worker_id] = (
+                        per_worker.get(lease.worker_id, 0) + 1
+                    )
+            return {
+                "items": len(self._items),
+                "pending": len(self._pending),
+                "local": len(self._local),
+                "resolved": len(self._results),
+                "active_leases": per_worker,
+                "requeues": self.requeues,
+            }
+
+    # -------------------------------------------------------------- remote
+    def lease(self, worker_id: str, ttl_s: Optional[float] = None) -> Optional[Lease]:
+        """Grant the oldest pending item to ``worker_id``, or ``None``."""
+        ttl = self.ttl_s if ttl_s is None else ttl_s
+        with self._cond:
+            if self._aborted or not self._pending:
+                return None
+            item = self._pending.pop(0)
+            item.attempts += 1
+            now = self._clock()
+            lease = Lease(
+                lease_id=f"lease-{next(self._ids):06d}-{uuid.uuid4().hex[:8]}",
+                item=item,
+                worker_id=worker_id,
+                ttl_s=ttl,
+                granted_at=now,
+                expires_at=now + ttl,
+            )
+            self._leases[lease.lease_id] = lease
+            return lease
+
+    def peek(self, lease_id: str) -> Optional[Lease]:
+        """The lease with this id, in whatever state, or ``None``."""
+        with self._cond:
+            return self._leases.get(lease_id)
+
+    def heartbeat(self, lease_id: str) -> Optional[Lease]:
+        """Extend an active lease's deadline; ``None`` if it is gone.
+
+        A lease that already expired stays expired — its item may be in
+        someone else's hands — but the original worker may still push its
+        result (see :meth:`complete`), it just can no longer *reserve* the
+        item.
+        """
+        with self._cond:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.state != "active" or self._aborted:
+                return None
+            lease.expires_at = self._clock() + lease.ttl_s
+            return lease
+
+    def complete(
+        self, lease_id: str, record: Dict[str, Any]
+    ) -> Tuple[str, Optional[Lease]]:
+        """Accept a remote result; returns ``(outcome, lease)``.
+
+        Outcomes: ``"accepted"`` (first result for the item — even from an
+        *expired* lease, as long as nobody else resolved the item first),
+        ``"duplicate"`` (item already resolved; the record is discarded),
+        ``"gone"`` (queue aborted), ``"unknown"`` (no such lease).
+        First-wins is the whole dedup story: at-least-once execution plus
+        idempotent, content-addressed records.
+        """
+        with self._cond:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return "unknown", None
+            if self._aborted:
+                return "gone", lease
+            item = lease.item
+            if lease.state != "completed":
+                lease.state = "completed"
+                lease.completed_at = self._clock()
+            if item.item_id in self._results:
+                return "duplicate", lease
+            # The item may have been requeued after this lease expired and
+            # be sitting in pending (or running locally): claim it back.
+            self._pending = [p for p in self._pending if p.item_id != item.item_id]
+            self._local.discard(item.item_id)
+            self._results[item.item_id] = record
+            self._cond.notify_all()
+            return "accepted", lease
+
+    # --------------------------------------------------------------- local
+    def take_local(self, max_items: int) -> List[WorkItem]:
+        """Reserve up to ``max_items`` pending items for the local pool."""
+        with self._cond:
+            if self._aborted:
+                return []
+            taken = self._pending[:max_items]
+            del self._pending[: len(taken)]
+            for item in taken:
+                self._local.add(item.item_id)
+            return taken
+
+    def resolve_local(self, item_id: str, record: Dict[str, Any]) -> bool:
+        """Record a locally computed result; False if already resolved."""
+        with self._cond:
+            self._local.discard(item_id)
+            if item_id in self._results:
+                return False
+            self._results[item_id] = record
+            self._cond.notify_all()
+            return True
+
+    # ------------------------------------------------------------ lifecycle
+    def reap(self) -> Tuple[List[Lease], List[Tuple[WorkItem, Dict[str, Any]]]]:
+        """Expire overdue leases; requeue their items or give up.
+
+        Returns ``(expired, gave_up)`` where ``gave_up`` pairs each
+        abandoned item with the synthetic error record just recorded for
+        it (the caller reports those like any other completion).
+        """
+        now = self._clock()
+        expired: List[Lease] = []
+        gave_up: List[Tuple[WorkItem, Dict[str, Any]]] = []
+        with self._cond:
+            if self._aborted:
+                return [], []
+            for lease in self._leases.values():
+                if lease.state != "active" or now < lease.expires_at:
+                    continue
+                lease.state = "expired"
+                expired.append(lease)
+                item = lease.item
+                unresolved = (
+                    item.item_id not in self._results
+                    and item.item_id not in self._local
+                    and all(p.item_id != item.item_id for p in self._pending)
+                )
+                if not unresolved:
+                    continue
+                if item.attempts >= self.max_attempts:
+                    record = give_up_record(
+                        item,
+                        f"lease expired {item.attempts} time(s) "
+                        f"(worker {lease.worker_id!r} lost); giving up",
+                    )
+                    self._results[item.item_id] = record
+                    gave_up.append((item, record))
+                else:
+                    self._pending.append(item)
+                    self.requeues += 1
+            if expired:
+                self._cond.notify_all()
+        return expired, gave_up
+
+    def abort(self) -> None:
+        """Stop handing out work; late results are answered ``"gone"``."""
+        with self._cond:
+            self._aborted = True
+            self._pending = []
+            self._cond.notify_all()
+
+    def wait(self, timeout_s: float) -> None:
+        """Block until something changes (completion/requeue/abort)."""
+        with self._cond:
+            if self._aborted or len(self._results) == len(self._items):
+                return
+            self._cond.wait(timeout_s)

@@ -1,0 +1,286 @@
+"""``repro-worker``: a remote execution process for the job server.
+
+The other half of the pull protocol (see :mod:`repro.server.app` and
+:class:`~repro.server.work.WorkQueue`): a stdlib-only process that
+
+1. polls ``POST /work/lease`` until the server hands it a cell of the
+   currently running batch (the canonical worker payload — the same JSON
+   the local pool pickles),
+2. executes it with the same entry point the pool uses
+   (:data:`~repro.server.jobs.EXECUTOR_KINDS`: ``execute_cell`` for sweep
+   cells, ``execute_scenario_cell`` for scenario cells and search probes),
+   heartbeating the lease from a side thread the whole time,
+3. pushes the record back via ``POST /work/<lease>/result`` and loops.
+
+Run any number of these against one server — ``repro-serve`` fans cells to
+its local pool and every attached worker simultaneously.  Dying is safe by
+design: a worker that is SIGKILLed mid-cell simply stops heartbeating, the
+server expires the lease at its TTL and requeues the cell, and should the
+zombie somehow finish anyway, its late push is deduplicated first-wins.
+Results land in the server's content-addressed cache under the same key a
+local execution would use, so the artifact is identical either way.
+
+A cell that raises locally is pushed back as a failed record (same shape
+the pool synthesises) rather than swallowed — the server should learn the
+cell is poisoned now, not after ``max_lease_attempts`` TTLs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import traceback
+from typing import Any, Dict, Optional
+
+from ..fingerprint import PACKAGE_VERSION, code_fingerprint
+from .client import ReproClient, ServerError
+from .jobs import EXECUTOR_KINDS
+
+__all__ = ["Worker", "execute_lease", "main"]
+
+#: Heartbeats per lease TTL; 3 gives two retries' worth of slack before
+#: the server declares the worker dead.
+HEARTBEATS_PER_TTL = 3.0
+
+#: Floor on the heartbeat interval so a tiny test TTL cannot spin.
+MIN_HEARTBEAT_S = 0.05
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique per process, stable for its lifetime."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def failure_record(payload: Dict[str, Any], error: str) -> Dict[str, Any]:
+    """A failed cell record for an execution that raised on this worker.
+
+    Mirrors the synthetic records :class:`~repro.experiments.runner.
+    PoolExecutor` and :func:`~repro.server.work.give_up_record` produce, so
+    artifact consumers see one failure vocabulary regardless of where the
+    cell died.
+    """
+    return {
+        "cell_id": payload.get("cell_id"),
+        "n": payload.get("n"),
+        "params": payload.get("params"),
+        "seeds": payload.get("seeds"),
+        "runs": [],
+        "stats": None,
+        "error": error,
+        "wall_time_s": None,
+    }
+
+
+def execute_lease(lease: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one leased cell with the pool's own entry point.
+
+    Never raises: an unknown ``kind`` or a crashing executor comes back as
+    a failed record (the server wants *an answer* for the lease; silence
+    just burns a TTL).
+    """
+    payload = lease.get("payload") or {}
+    executor = EXECUTOR_KINDS.get(lease.get("kind"))
+    if executor is None:
+        return failure_record(
+            payload,
+            f"worker does not understand lease kind {lease.get('kind')!r} "
+            f"(knows {tuple(EXECUTOR_KINDS)})",
+        )
+    try:
+        return executor(payload)
+    except Exception:  # noqa: BLE001 - the record carries the traceback
+        return failure_record(payload, traceback.format_exc())
+
+
+class _Heartbeat:
+    """Keep one lease alive from a daemon thread while the cell runs."""
+
+    def __init__(self, client: ReproClient, lease: Dict[str, Any]) -> None:
+        self._client = client
+        self._lease_id = lease["lease_id"]
+        ttl = float(lease.get("ttl_s") or 60.0)
+        self._interval = max(MIN_HEARTBEAT_S, ttl / HEARTBEATS_PER_TTL)
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{self._lease_id}", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._client.heartbeat(self._lease_id)
+            except ServerError as error:
+                if error.status == 404:
+                    # Expired (or the batch ended).  Finish the cell and
+                    # push anyway: an unresolved item still accepts the
+                    # first result, even from an expired lease.
+                    self.lost = True
+                    return
+                # Transient transport trouble: keep trying until stopped.
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+class Worker:
+    """The lease → execute → push loop of one ``repro-worker`` process.
+
+    Args:
+        client: Connection to the server.
+        worker_id: Identity reported with every lease (shows up in the
+            server's per-worker metrics and lifecycle events).
+        poll_s: Sleep between empty lease polls.
+        max_idle_s: Exit once this long passes without the server granting
+            a lease *and* without it being reachable trouble-free
+            (``None``: run until killed — the systemd/daemon mode).
+        progress: Line-oriented log callback (``None``: silent).
+    """
+
+    def __init__(
+        self,
+        client: ReproClient,
+        worker_id: Optional[str] = None,
+        poll_s: float = 0.2,
+        max_idle_s: Optional[float] = None,
+        progress: Optional[Any] = None,
+    ) -> None:
+        self.client = client
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_s = poll_s
+        self.max_idle_s = max_idle_s
+        self.progress = progress
+        self.executed = 0
+        self.accepted = 0
+
+    def _report(self, line: str) -> None:
+        if self.progress:
+            self.progress(f"repro-worker {self.worker_id}: {line}")
+
+    def run_one(self) -> bool:
+        """Lease, execute, and push one cell; False when none was granted."""
+        lease = self.client.lease(self.worker_id)
+        if lease is None:
+            return False
+        # Announce *before* executing: the distributed smoke kills a worker
+        # on this line to prove mid-cell death is survivable.
+        self._report(
+            f"leased {lease['lease_id']} cell {lease.get('cell_id')} "
+            f"(kind {lease.get('kind')}, attempt {lease.get('attempt')})"
+        )
+        with _Heartbeat(self.client, lease) as heartbeat:
+            record = execute_lease(lease)
+        self.executed += 1
+        outcome = self.client.push_result(lease["lease_id"], record)
+        if outcome.get("accepted"):
+            self.accepted += 1
+        self._report(
+            f"pushed {lease['lease_id']} -> {outcome.get('outcome')}"
+            + (" (lease had expired)" if heartbeat.lost else "")
+        )
+        return True
+
+    def run(self) -> int:
+        """Loop until idle timeout (if any); returns cells executed."""
+        fingerprint = code_fingerprint()
+        self._report(
+            f"polling {self.client.base_url} "
+            f"(version {PACKAGE_VERSION}, fingerprint {fingerprint[:12]})"
+        )
+        idle_s = 0.0
+        while True:
+            try:
+                worked = self.run_one()
+            except ServerError as error:
+                if error.status != 0:
+                    # The server answered with an error we cannot fix by
+                    # retrying the same request (bad route/version skew).
+                    self._report(f"giving up: {error}")
+                    raise
+                worked = False  # unreachable: poll again, count as idle
+            if worked:
+                idle_s = 0.0
+                continue
+            idle_s += self.poll_s
+            if self.max_idle_s is not None and idle_s >= self.max_idle_s:
+                self._report(
+                    f"idle for {idle_s:.1f}s, exiting "
+                    f"({self.executed} cells executed, {self.accepted} accepted)"
+                )
+                return self.executed
+            threading.Event().wait(self.poll_s)
+
+
+def main(argv: Optional[Any] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description=(
+            "Pull cells from a repro-serve instance over HTTP, execute them "
+            "locally, and push the results back."
+        ),
+    )
+    parser.add_argument(
+        "--server",
+        default="http://127.0.0.1:8765",
+        help="base URL of the repro-serve instance (default %(default)s)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="identity reported to the server (default <hostname>-<pid>)",
+    )
+    parser.add_argument(
+        "--poll-s",
+        type=float,
+        default=0.2,
+        help="sleep between empty lease polls (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-idle-s",
+        type=float,
+        default=None,
+        help=(
+            "exit after this long without work (default: run until killed)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=30.0,
+        help="per-request HTTP timeout (default %(default)s)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-lease log lines"
+    )
+    args = parser.parse_args(argv)
+
+    def progress(line: str) -> None:
+        print(line, flush=True)
+
+    worker = Worker(
+        ReproClient(args.server, timeout_s=args.timeout_s),
+        worker_id=args.worker_id,
+        poll_s=args.poll_s,
+        max_idle_s=args.max_idle_s,
+        progress=None if args.quiet else progress,
+    )
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    except ServerError as error:
+        print(f"repro-worker: {error}", file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

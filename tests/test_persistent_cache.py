@@ -1,0 +1,303 @@
+"""Durability tests for the persistent layer of :class:`ResultCache`.
+
+The contract under test (PR 10 tentpole): with a ``cache_dir`` the cache
+survives the process — entries land as atomic ``<key>.json`` envelope
+files, a fresh cache over the same directory serves them lazily, anything
+unreadable or untrustworthy (truncation, corruption, foreign fingerprint,
+wrong key, failed record) is a *miss* that gets quarantined rather than
+crashing or, worse, silently serving garbage, and an optional bytes budget
+evicts least-recently-used files.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.fingerprint import code_fingerprint
+from repro.server import ResultCache
+from repro.server.cache import DISK_FORMAT, QUARANTINE_DIR
+
+
+def record_for(cell_id, payload_size=0):
+    record = {
+        "cell_id": cell_id,
+        "n": 8,
+        "params": {},
+        "seeds": [1],
+        "runs": [{"seed": 1, "converged": True}],
+        "stats": {"mean": 1.0},
+        "error": None,
+        "wall_time_s": 0.5,
+    }
+    if payload_size:
+        record["padding"] = "x" * payload_size
+    return record
+
+
+def entry_path(cache_dir, key):
+    return os.path.join(str(cache_dir), f"{key}.json")
+
+
+def quarantine_dir(cache_dir):
+    return os.path.join(str(cache_dir), QUARANTINE_DIR)
+
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+# --------------------------------------------------------------------------
+# Round trip and lazy reload
+# --------------------------------------------------------------------------
+
+
+def test_put_writes_envelope_file_and_survives_restart(tmp_path):
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.put(KEY_A, record_for("cell-a"))
+    path = entry_path(tmp_path, KEY_A)
+    assert os.path.exists(path)
+    with open(path, encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    assert envelope["format"] == DISK_FORMAT
+    assert envelope["key"] == KEY_A
+    assert envelope["code_fingerprint"] == code_fingerprint()
+    assert envelope["record"]["cell_id"] == "cell-a"
+
+    # A brand new cache over the same directory serves the entry from disk.
+    reborn = ResultCache(cache_dir=str(tmp_path))
+    assert reborn.stats()["disk_entries"] == 1
+    assert reborn.stats()["disk_loads"] == 0  # nothing read yet: lazy
+    record = reborn.get(KEY_A)
+    assert record is not None and record["cell_id"] == "cell-a"
+    stats = reborn.stats()
+    assert stats["disk_loads"] == 1
+    assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+def test_disk_load_promotes_into_memory(tmp_path):
+    ResultCache(cache_dir=str(tmp_path)).put(KEY_A, record_for("cell-a"))
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.get(KEY_A) is not None
+    assert cache.get(KEY_A) is not None
+    # Only the first get touched the file; the second was a memory hit.
+    assert cache.stats()["disk_loads"] == 1
+    assert cache.stats()["entries"] == 1
+
+
+def test_clear_drops_memory_but_not_disk(tmp_path):
+    cache = ResultCache(cache_dir=str(tmp_path))
+    cache.put(KEY_A, record_for("cell-a"))
+    cache.clear()
+    assert cache.stats()["entries"] == 0
+    assert cache.get(KEY_A) is not None  # reloaded from disk
+    assert cache.stats()["disk_loads"] == 1
+
+
+def test_failed_records_are_refused_and_never_persisted(tmp_path):
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert not cache.put(KEY_A, {**record_for("cell-a"), "error": "boom"})
+    assert not cache.put(KEY_B, {})
+    assert not os.path.exists(entry_path(tmp_path, KEY_A))
+    assert cache.stats()["disk_entries"] == 0
+
+
+def test_memory_only_cache_is_unaffected(tmp_path):
+    cache = ResultCache()  # no cache_dir
+    cache.put(KEY_A, record_for("cell-a"))
+    assert cache.get(KEY_A) is not None
+    stats = cache.stats()
+    assert stats["cache_dir"] is None
+    assert stats["disk_entries"] == 0
+
+
+# --------------------------------------------------------------------------
+# Corruption: miss + quarantine, never crash, never serve garbage
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        pytest.param(lambda data: b"{not json", id="corrupt-json"),
+        pytest.param(lambda data: data[: len(data) // 2], id="truncated"),
+        pytest.param(lambda data: b"", id="empty-file"),
+        pytest.param(lambda data: b"[1, 2, 3]", id="wrong-shape"),
+    ],
+)
+def test_unreadable_entry_is_a_miss_and_quarantined(tmp_path, corruption):
+    ResultCache(cache_dir=str(tmp_path)).put(KEY_A, record_for("cell-a"))
+    path = entry_path(tmp_path, KEY_A)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(corruption(data))
+
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.get(KEY_A) is None
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+    assert stats["quarantined"] == 1
+    assert not os.path.exists(path)
+    assert os.path.exists(os.path.join(quarantine_dir(tmp_path), f"{KEY_A}.json"))
+    # Quarantine is once-per-entry: the next get is a plain cheap miss.
+    assert cache.get(KEY_A) is None
+    assert cache.stats()["quarantined"] == 1
+
+
+def _rewrite_envelope(tmp_path, key, mutate):
+    path = entry_path(tmp_path, key)
+    with open(path, encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    mutate(envelope)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+
+
+def test_fingerprint_mismatch_on_reload_is_a_miss(tmp_path):
+    ResultCache(cache_dir=str(tmp_path)).put(KEY_A, record_for("cell-a"))
+    _rewrite_envelope(
+        tmp_path, KEY_A, lambda e: e.update(code_fingerprint="0.0.0+dead")
+    )
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.get(KEY_A) is None
+    assert cache.stats()["quarantined"] == 1
+
+
+def test_wrong_key_in_envelope_is_a_miss(tmp_path):
+    ResultCache(cache_dir=str(tmp_path)).put(KEY_A, record_for("cell-a"))
+    # The file claims to be KEY_A but sits at KEY_B's address (e.g. a bad
+    # copy between cache directories).
+    os.rename(entry_path(tmp_path, KEY_A), entry_path(tmp_path, KEY_B))
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.get(KEY_B) is None
+    assert cache.stats()["quarantined"] == 1
+
+
+def test_future_disk_format_is_quarantined_not_misread(tmp_path):
+    ResultCache(cache_dir=str(tmp_path)).put(KEY_A, record_for("cell-a"))
+    _rewrite_envelope(tmp_path, KEY_A, lambda e: e.update(format=DISK_FORMAT + 1))
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.get(KEY_A) is None
+    assert cache.stats()["quarantined"] == 1
+
+
+def test_persisted_failed_record_is_not_served(tmp_path):
+    ResultCache(cache_dir=str(tmp_path)).put(KEY_A, record_for("cell-a"))
+    _rewrite_envelope(
+        tmp_path,
+        KEY_A,
+        lambda e: e["record"].update(error="poisoned after the fact"),
+    )
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.get(KEY_A) is None
+    assert cache.stats()["quarantined"] == 1
+
+
+def test_unrelated_files_are_ignored_by_the_scan(tmp_path):
+    (tmp_path / "README.txt").write_text("not a cache entry")
+    (tmp_path / ("f" * 63 + ".json")).write_text("{}")  # too-short stem
+    (tmp_path / (".%s.123.1.tmp" % KEY_A)).write_text("in-flight temp")
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.stats()["disk_entries"] == 0
+
+
+# --------------------------------------------------------------------------
+# Concurrent writers and atomicity
+# --------------------------------------------------------------------------
+
+
+def test_concurrent_writers_leave_only_complete_entries(tmp_path):
+    caches = [ResultCache(cache_dir=str(tmp_path)) for _ in range(4)]
+    keys = [format(i, "x") * 64 for i in range(10)]  # '0'*64 .. '9'*64
+
+    def hammer(cache, worker):
+        for _ in range(25):
+            for key in keys:
+                cache.put(key, record_for(f"cell-{key[0]}-{worker}"))
+
+    threads = [
+        threading.Thread(target=hammer, args=(cache, i))
+        for i, cache in enumerate(caches)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # No temp files survive, and every entry is complete valid JSON.
+    leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+    assert leftovers == []
+    reader = ResultCache(cache_dir=str(tmp_path))
+    for key in keys:
+        record = reader.get(key)
+        assert record is not None
+        assert record["cell_id"].startswith(f"cell-{key[0]}-")
+    assert reader.stats()["quarantined"] == 0
+
+
+def test_cross_process_write_is_visible_without_a_rescan(tmp_path):
+    writer = ResultCache(cache_dir=str(tmp_path))
+    reader = ResultCache(cache_dir=str(tmp_path))  # scanned an empty dir
+    writer.put(KEY_A, record_for("cell-a"))
+    record = reader.get(KEY_A)  # not in reader's startup index
+    assert record is not None and record["cell_id"] == "cell-a"
+    # The late-discovered file is indexed so byte accounting stays honest.
+    assert reader.stats()["disk_entries"] == 1
+    assert reader.stats()["disk_bytes"] > 0
+
+
+# --------------------------------------------------------------------------
+# LRU bytes budget
+# --------------------------------------------------------------------------
+
+
+def test_lru_eviction_under_bytes_budget(tmp_path):
+    probe = ResultCache(cache_dir=str(tmp_path))
+    probe.put(KEY_A, record_for("cell-a", payload_size=256))
+    entry_bytes = probe.stats()["disk_bytes"]
+    os.remove(entry_path(tmp_path, KEY_A))
+
+    budget = int(entry_bytes * 2.5)  # room for two entries, not three
+    cache = ResultCache(cache_dir=str(tmp_path), max_disk_bytes=budget)
+    cache.put(KEY_A, record_for("cell-a", payload_size=256))
+    cache.put(KEY_B, record_for("cell-b", payload_size=256))
+    cache.put(KEY_C, record_for("cell-c", payload_size=256))
+
+    stats = cache.stats()
+    assert stats["disk_evictions"] >= 1
+    assert stats["disk_bytes"] <= budget
+    assert not os.path.exists(entry_path(tmp_path, KEY_A))  # oldest went
+    assert os.path.exists(entry_path(tmp_path, KEY_C))  # newest stays
+
+    # The evicted entry is gone for a *fresh* cache too (not just memory).
+    reborn = ResultCache(cache_dir=str(tmp_path), max_disk_bytes=budget)
+    assert reborn.get(KEY_C) is not None
+    assert reborn.stats()["disk_entries"] == 2
+
+
+def test_disk_get_refreshes_lru_order(tmp_path):
+    probe = ResultCache(cache_dir=str(tmp_path))
+    probe.put(KEY_A, record_for("cell-a", payload_size=256))
+    entry_bytes = probe.stats()["disk_bytes"]
+    budget = int(entry_bytes * 2.5)
+
+    cache = ResultCache(cache_dir=str(tmp_path), max_disk_bytes=budget)
+    cache.put(KEY_B, record_for("cell-b", payload_size=256))
+    # Touch A from a fresh cache so it is the most recently used on disk.
+    reader = ResultCache(cache_dir=str(tmp_path), max_disk_bytes=budget)
+    assert reader.get(KEY_A) is not None
+    reader.put(KEY_C, record_for("cell-c", payload_size=256))
+    # B (least recently used in reader's view) was evicted, A survived.
+    assert os.path.exists(entry_path(tmp_path, KEY_A))
+    assert not os.path.exists(entry_path(tmp_path, KEY_B))
+
+
+def test_newest_entry_is_never_the_eviction_victim(tmp_path):
+    cache = ResultCache(cache_dir=str(tmp_path), max_disk_bytes=1)
+    cache.put(KEY_A, record_for("cell-a", payload_size=256))
+    # Budget is absurdly small, but the entry just written must survive.
+    assert os.path.exists(entry_path(tmp_path, KEY_A))
+    assert cache.stats()["disk_entries"] == 1

@@ -1,0 +1,391 @@
+"""Tests of the multi-host worker pull protocol (PR 10 tentpole).
+
+Three layers, bottom up:
+
+* :class:`WorkQueue` — the lease table itself, driven with a fake clock so
+  TTL expiry, requeue, first-result-wins dedup, and give-up are exact.
+* The ``/work`` HTTP routes, driven through :class:`ReproClient`.
+* A real :class:`~repro.server.worker.Worker` attached to a real server —
+  remote-only execution end to end, a lost worker's cell being requeued,
+  and the served artifact matching a locally computed one modulo volatile
+  keys.
+"""
+
+import threading
+
+import pytest
+
+from repro.experiments import BudgetPolicy, SweepRunner, SweepSpec
+from repro.experiments import build_document as build_sweep_document
+from repro.obs.metrics import counter_value, parse_exposition
+from repro.server import JobManager, ReproClient, ResultCache, ServerError
+from repro.server.app import make_server
+from repro.server.cache import stable_document
+from repro.server.work import WorkItem, WorkQueue
+from repro.server.worker import Worker, execute_lease, failure_record
+
+
+def tiny_sweep(**overrides):
+    defaults = dict(
+        name="tiny-worker",
+        protocol="one-way-epidemic",
+        ns=[8, 16],
+        seeds_per_cell=1,
+        backend="batch",
+        budget=BudgetPolicy(factor=64.0, n_exponent=1.0, log_exponent=1.0),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def make_items(count=3):
+    return [
+        WorkItem(
+            item_id=f"item-{i}",
+            exec_kind="sweep",
+            payload={"cell_id": f"cell-{i}", "n": 8, "seeds": [i]},
+            cache_key=f"{i:064d}"[:64],
+        )
+        for i in range(count)
+    ]
+
+
+def record_for(item, **overrides):
+    record = {
+        "cell_id": item.payload["cell_id"],
+        "n": 8,
+        "runs": [{"seed": 1}],
+        "stats": {},
+        "error": None,
+        "wall_time_s": 0.1,
+    }
+    record.update(overrides)
+    return record
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+# --------------------------------------------------------------------------
+# WorkQueue: leases, TTL, requeue, dedup
+# --------------------------------------------------------------------------
+
+
+def test_lease_hands_out_items_fifo_and_tracks_attempts():
+    queue = WorkQueue(make_items(2), ttl_s=10.0)
+    first = queue.lease("w1")
+    second = queue.lease("w2")
+    assert first.item.payload["cell_id"] == "cell-0"
+    assert second.item.payload["cell_id"] == "cell-1"
+    assert first.item.attempts == 1
+    assert first.lease_id != second.lease_id
+    assert queue.lease("w3") is None  # nothing pending
+    snapshot = queue.snapshot()
+    assert snapshot["pending"] == 0
+    assert snapshot["active_leases"] == {"w1": 1, "w2": 1}
+
+
+def test_complete_is_first_wins_and_notifies():
+    queue = WorkQueue(make_items(1), ttl_s=10.0)
+    lease = queue.lease("w1")
+    outcome, _ = queue.complete(lease.lease_id, record_for(lease.item))
+    assert outcome == "accepted"
+    assert queue.finished
+    # The same push again is a duplicate, not an error.
+    outcome, _ = queue.complete(lease.lease_id, record_for(lease.item))
+    assert outcome == "duplicate"
+    assert queue.complete("lease-999999-nope", {})[0] == "unknown"
+
+
+def test_expired_lease_is_requeued_for_another_worker():
+    clock = FakeClock()
+    queue = WorkQueue(make_items(1), ttl_s=5.0, clock=clock)
+    lost = queue.lease("w1")
+    clock.now += 5.1
+    expired, gave_up = queue.reap()
+    assert [lease.lease_id for lease in expired] == [lost.lease_id]
+    assert gave_up == []
+    assert queue.requeues == 1
+    retry = queue.lease("w2")
+    assert retry.item.payload["cell_id"] == "cell-0"
+    assert retry.item.attempts == 2
+    outcome, _ = queue.complete(retry.lease_id, record_for(retry.item))
+    assert outcome == "accepted"
+
+
+def test_heartbeat_extends_only_active_leases():
+    clock = FakeClock()
+    queue = WorkQueue(make_items(1), ttl_s=5.0, clock=clock)
+    lease = queue.lease("w1")
+    clock.now += 4.0
+    assert queue.heartbeat(lease.lease_id) is not None
+    clock.now += 4.0  # 8s after grant, but only 4 since the heartbeat
+    assert queue.reap() == ([], [])
+    clock.now += 2.0
+    expired, _ = queue.reap()
+    assert len(expired) == 1
+    assert queue.heartbeat(lease.lease_id) is None  # expired stays expired
+    assert queue.heartbeat("lease-000000-void") is None
+
+
+def test_late_result_from_expired_lease_wins_if_still_unresolved():
+    clock = FakeClock()
+    queue = WorkQueue(make_items(1), ttl_s=5.0, clock=clock)
+    zombie = queue.lease("w1")
+    clock.now += 6.0
+    queue.reap()  # requeued
+    # The zombie finished anyway and pushes before anyone re-leases.
+    outcome, _ = queue.complete(zombie.lease_id, record_for(zombie.item))
+    assert outcome == "accepted"
+    assert queue.lease("w2") is None  # the requeued copy was claimed back
+    assert queue.finished
+
+
+def test_item_gives_up_after_max_attempts_with_synthetic_record():
+    clock = FakeClock()
+    queue = WorkQueue(make_items(1), ttl_s=5.0, max_attempts=2, clock=clock)
+    for attempt in (1, 2):
+        lease = queue.lease(f"blackhole-{attempt}")
+        assert lease.item.attempts == attempt
+        clock.now += 6.0
+        expired, gave_up = queue.reap()
+        assert len(expired) == 1
+        if attempt < 2:
+            assert gave_up == []
+    (item, record), = gave_up
+    assert record["cell_id"] == "cell-0"
+    assert "lease expired" in record["error"]
+    assert queue.finished
+    assert queue.results_in_order() == [record]
+
+
+def test_local_and_remote_claims_do_not_double_resolve():
+    queue = WorkQueue(make_items(2), ttl_s=10.0)
+    chunk = queue.take_local(1)
+    assert [item.payload["cell_id"] for item in chunk] == ["cell-0"]
+    lease = queue.lease("w1")
+    assert lease.item.payload["cell_id"] == "cell-1"  # not the local one
+    assert queue.resolve_local(chunk[0].item_id, record_for(chunk[0]))
+    assert not queue.resolve_local(chunk[0].item_id, record_for(chunk[0]))
+    queue.complete(lease.lease_id, record_for(lease.item))
+    assert queue.finished
+    assert [r["cell_id"] for r in queue.results_in_order()] == [
+        "cell-0",
+        "cell-1",
+    ]
+
+
+def test_abort_stops_leasing_and_answers_gone():
+    queue = WorkQueue(make_items(2), ttl_s=10.0)
+    lease = queue.lease("w1")
+    queue.abort()
+    assert queue.lease("w2") is None
+    assert queue.take_local(5) == []
+    outcome, _ = queue.complete(lease.lease_id, record_for(lease.item))
+    assert outcome == "gone"
+    assert queue.finished  # aborted counts as finished
+
+
+def test_queue_validates_parameters():
+    with pytest.raises(ValueError):
+        WorkQueue([], ttl_s=0.0)
+    with pytest.raises(ValueError):
+        WorkQueue([], max_attempts=0)
+
+
+# --------------------------------------------------------------------------
+# Worker-side helpers
+# --------------------------------------------------------------------------
+
+
+def test_execute_lease_runs_the_real_sweep_entry_point():
+    spec = tiny_sweep(ns=[8])
+    from repro.experiments.runner import cell_payload
+
+    payload = cell_payload(spec, spec.cells()[0])
+    record = execute_lease(
+        {"lease_id": "x", "kind": "sweep", "payload": payload}
+    )
+    assert record["cell_id"] == payload["cell_id"]
+    assert not record.get("error")
+    assert record["runs"]
+
+
+def test_execute_lease_answers_unknown_kind_with_failure_record():
+    record = execute_lease(
+        {"lease_id": "x", "kind": "alien", "payload": {"cell_id": "c1"}}
+    )
+    assert record["cell_id"] == "c1"
+    assert "alien" in record["error"]
+
+
+def test_failure_record_mirrors_pool_failure_shape():
+    record = failure_record({"cell_id": "c", "n": 8, "seeds": [1]}, "boom")
+    assert record["error"] == "boom"
+    assert record["runs"] == [] and record["stats"] is None
+
+
+# --------------------------------------------------------------------------
+# End to end over HTTP
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture
+def served_manager():
+    """A remote-only server (short TTL) plus a client; nothing runs locally."""
+    manager = JobManager(
+        workers=1,
+        cache=ResultCache(),
+        local_execution=False,
+        lease_ttl_s=1.0,
+    )
+    server = make_server("127.0.0.1", 0, manager)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    client = ReproClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield manager, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.close()
+        thread.join(timeout=5)
+
+
+def test_lease_routes_when_no_batch_is_running(served_manager):
+    _manager, client = served_manager
+    assert client.lease("w1") is None  # 204: nothing to do
+    with pytest.raises(ServerError) as excinfo:
+        client.heartbeat("lease-000000-void")
+    assert excinfo.value.status == 404
+    outcome = client.push_result("lease-000000-void", {"cell_id": "c"})
+    assert outcome["outcome"] == "gone"
+    assert not outcome["accepted"]
+
+
+def test_remote_worker_executes_a_job_end_to_end(served_manager):
+    manager, client = served_manager
+    spec = tiny_sweep()
+    job_id = client.submit("sweep", spec.to_dict())["job_id"]
+
+    worker = Worker(client, worker_id="wt-1", poll_s=0.05, max_idle_s=3.0)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    status = client.wait(job_id, timeout_s=120.0)
+    thread.join(timeout=30)
+
+    assert status["state"] == "done"
+    assert status["progress"]["remote_cells"] == 2
+    assert status["progress"]["failed_cells"] == []
+    assert worker.accepted == 2
+
+    served = client.artifact(job_id)
+    local = build_sweep_document(
+        spec, SweepRunner(spec, workers=1).run(), workers=1
+    )
+    assert stable_document(served) == stable_document(local)
+
+    metrics = parse_exposition(client.metrics())
+    assert counter_value(metrics, "repro_leases_granted_total", worker="wt-1") == 2
+    assert (
+        counter_value(metrics, "repro_lease_results_total", outcome="accepted")
+        == 2
+    )
+
+
+def test_abandoned_lease_is_requeued_and_job_still_completes(served_manager):
+    manager, client = served_manager
+    spec = tiny_sweep(ns=[8])
+    job_id = client.submit("sweep", spec.to_dict())["job_id"]
+
+    # A doomed "worker" leases the only cell and vanishes without a result.
+    deadline_lease = None
+    for _ in range(200):
+        deadline_lease = client.lease("doomed")
+        if deadline_lease is not None:
+            break
+        threading.Event().wait(0.02)
+    assert deadline_lease is not None
+    assert deadline_lease["kind"] == "sweep"
+    assert deadline_lease["payload"]["cell_id"] == "one-way-epidemic-n8"
+
+    # An honest worker picks the cell up after the 1s TTL expires.
+    worker = Worker(client, worker_id="honest", poll_s=0.05, max_idle_s=5.0)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    status = client.wait(job_id, timeout_s=120.0)
+    thread.join(timeout=30)
+
+    assert status["state"] == "done"
+    assert status["progress"]["failed_cells"] == []
+    metrics = parse_exposition(client.metrics())
+    assert counter_value(metrics, "repro_leases_expired_total") >= 1
+    assert counter_value(metrics, "repro_leases_requeued_total") >= 1
+    assert (
+        counter_value(metrics, "repro_worker_results_total", worker="honest")
+        == 1
+    )
+
+
+def test_wrong_cell_result_is_rejected_and_cell_recovers(served_manager):
+    manager, client = served_manager
+    spec = tiny_sweep(ns=[8])
+    job_id = client.submit("sweep", spec.to_dict())["job_id"]
+    lease = None
+    for _ in range(200):
+        lease = client.lease("confused")
+        if lease is not None:
+            break
+        threading.Event().wait(0.02)
+    assert lease is not None
+    outcome = client.push_result(
+        lease["lease_id"], {"cell_id": "someone-elses-cell", "runs": []}
+    )
+    assert outcome["outcome"] == "rejected"
+
+    worker = Worker(client, worker_id="honest", poll_s=0.05, max_idle_s=5.0)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    status = client.wait(job_id, timeout_s=120.0)
+    thread.join(timeout=30)
+    assert status["state"] == "done"
+    assert status["progress"]["failed_cells"] == []
+
+
+def test_mixed_local_and_remote_execution():
+    """With local execution on, the pool and a remote worker share a job."""
+    manager = JobManager(workers=1, cache=ResultCache(), lease_ttl_s=30.0)
+    server = make_server("127.0.0.1", 0, manager)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    client = ReproClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        spec = tiny_sweep(ns=[8, 12, 16, 24])
+        worker = Worker(client, worker_id="helper", poll_s=0.02, max_idle_s=4.0)
+        worker_thread = threading.Thread(target=worker.run, daemon=True)
+        worker_thread.start()
+        job_id = client.submit("sweep", spec.to_dict())["job_id"]
+        status = client.wait(job_id, timeout_s=120.0)
+        worker_thread.join(timeout=30)
+        assert status["state"] == "done"
+        assert status["progress"]["completed_cells"] == 4
+        assert status["progress"]["failed_cells"] == []
+        served = client.artifact(job_id)
+        local = build_sweep_document(
+            spec, SweepRunner(spec, workers=1).run(), workers=1
+        )
+        assert stable_document(served) == stable_document(local)
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.close()
+        thread.join(timeout=5)
